@@ -1,0 +1,136 @@
+//===- bench/bench_mnb.cpp - Experiment E6 (Corollary 2) -----------------===//
+//
+// Reproduces Corollary 2: multinode broadcast under the all-port model.
+// The claim is asymptotic optimality against the degree (receive-bound)
+// lower bound: Theta(N loglogN/logN) on the IS network (degree ~ k) and
+// Theta(N sqrt(loglogN/logN)) on the MS family (degree ~ n + l). The
+// table reports simulated completion vs ceil((N-1)/degree): a bounded
+// ratio across sizes is the reproduced result (DESIGN.md substitution 1
+// replaces the strictly optimal schedules of [15]/[8] with spanning-tree
+// pipelining).
+//
+//===----------------------------------------------------------------------===//
+
+#include "comm/Mnb.h"
+#include "support/Format.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace scg;
+
+namespace {
+
+void addRow(TextTable &Table, const SuperCayleyGraph &Scg) {
+  ExplicitScg Net(Scg);
+  BroadcastTree Tree(Net);
+  MnbResult R = simulateMnb(Net, Tree);
+  Table.addRow({Scg.name(), std::to_string(Net.numNodes()),
+                std::to_string(Scg.degree()), std::to_string(R.Steps),
+                std::to_string(R.LowerBound), formatDouble(R.Ratio, 2),
+                formatDouble(100.0 * R.LinkUtilization, 1) + "%"});
+}
+
+void printMnbTable() {
+  std::printf("E6: multinode broadcast, all-port model (Corollary 2)\n\n");
+  TextTable Table;
+  Table.setHeader({"network", "N", "degree", "steps", "lower bd", "ratio",
+                   "util"});
+  for (unsigned K : {5u, 6u, 7u}) {
+    addRow(Table, SuperCayleyGraph::star(K));
+    addRow(Table, SuperCayleyGraph::insertionSelection(K));
+  }
+  addRow(Table, SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2));
+  addRow(Table, SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 3));
+  addRow(Table, SuperCayleyGraph::create(NetworkKind::MacroStar, 3, 2));
+  addRow(Table,
+         SuperCayleyGraph::create(NetworkKind::CompleteRotationStar, 3, 2));
+  addRow(Table, SuperCayleyGraph::create(NetworkKind::MacroIS, 3, 2));
+  addRow(Table,
+         SuperCayleyGraph::create(NetworkKind::CompleteRotationIS, 2, 3));
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("shape check: every class completes within a small constant "
+              "of its degree lower bound, so the lower-degree MS family "
+              "pays exactly the degree factor the Theta bounds predict -- "
+              "who wins and by what factor matches Corollary 2.\n\n");
+
+  // Section 3: SDC-model MNB ([15] achieves the k!-1 receive bound on the
+  // star; the tree-based schedule lands within a small constant of N-1).
+  std::printf("E6b: multinode broadcast, single-dimension model "
+              "(Section 3 / [15])\n\n");
+  TextTable Sdc;
+  Sdc.setHeader({"network", "N", "steps", "N-1 bound", "ratio"});
+  for (unsigned K : {5u, 6u}) {
+    for (auto Scg : {SuperCayleyGraph::star(K),
+                     SuperCayleyGraph::insertionSelection(K)}) {
+      ExplicitScg Net(Scg);
+      BroadcastTree Tree(Net);
+      MnbResult R = simulateMnbSdc(Net, Tree);
+      Sdc.addRow({Scg.name(), std::to_string(Net.numNodes()),
+                  std::to_string(R.Steps), std::to_string(R.LowerBound),
+                  formatDouble(R.Ratio, 2)});
+    }
+  }
+  for (auto Scg :
+       {SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2),
+        SuperCayleyGraph::create(NetworkKind::MacroStar, 3, 2),
+        SuperCayleyGraph::create(NetworkKind::CompleteRotationStar, 3, 2)}) {
+    ExplicitScg Net(Scg);
+    BroadcastTree Tree(Net);
+    MnbResult R = simulateMnbSdc(Net, Tree);
+    Sdc.addRow({Scg.name(), std::to_string(Net.numNodes()),
+                std::to_string(R.Steps), std::to_string(R.LowerBound),
+                formatDouble(R.Ratio, 2)});
+  }
+  std::printf("%s\n", Sdc.render().c_str());
+
+  // Ablation: one tree vs degree-many rotated trees (the multi-tree idea
+  // of [8]); striping flattens per-link load and improves the ratio.
+  std::printf("E6c: single-tree vs striped multi-tree MNB (all-port)\n\n");
+  TextTable Striped;
+  Striped.setHeader({"network", "N", "1-tree ratio", "striped ratio",
+                     "trees"});
+  for (auto Scg :
+       {SuperCayleyGraph::star(6), SuperCayleyGraph::insertionSelection(6),
+        SuperCayleyGraph::create(NetworkKind::MacroStar, 3, 2),
+        SuperCayleyGraph::create(NetworkKind::CompleteRotationStar, 3, 2)}) {
+    ExplicitScg Net(Scg);
+    BroadcastTree Single(Net);
+    MnbResult One = simulateMnb(Net, Single);
+    std::vector<BroadcastTree> Trees;
+    for (unsigned T = 0; T != Scg.degree(); ++T)
+      Trees.emplace_back(Net, T);
+    MnbResult Many = simulateMnbStriped(Net, Trees);
+    Striped.addRow({Scg.name(), std::to_string(Net.numNodes()),
+                    formatDouble(One.Ratio, 2), formatDouble(Many.Ratio, 2),
+                    std::to_string(Trees.size())});
+  }
+  std::printf("%s\n", Striped.render().c_str());
+}
+
+void BM_MnbStar(benchmark::State &State) {
+  ExplicitScg Net(SuperCayleyGraph::star(State.range(0)));
+  BroadcastTree Tree(Net);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simulateMnb(Net, Tree).Steps);
+}
+BENCHMARK(BM_MnbStar)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastTreeStar7(benchmark::State &State) {
+  ExplicitScg Net(SuperCayleyGraph::star(7));
+  for (auto _ : State) {
+    BroadcastTree Tree(Net);
+    benchmark::DoNotOptimize(Tree.height());
+  }
+}
+BENCHMARK(BM_BroadcastTreeStar7)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printMnbTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- comm/BroadcastTree.cpp - Translation-invariant trees --------------===//
+
+#include "comm/BroadcastTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+using namespace scg;
+
+BroadcastTree::BroadcastTree(const ExplicitScg &Net, unsigned Rotation)
+    : Depth(Net.numNodes(), std::numeric_limits<uint32_t>::max()),
+      Children(Net.numNodes()), Parent(Net.numNodes(), 0),
+      ParentLink(Net.numNodes(), 0) {
+  std::deque<NodeId> Queue;
+  Depth[0] = 0;
+  Queue.push_back(0);
+  while (!Queue.empty()) {
+    NodeId W = Queue.front();
+    Queue.pop_front();
+    // Rotate the generator order per node so tree-edge labels spread evenly
+    // across the links; the per-link MNB load is the number of tree edges
+    // with a given label, so balance here is completion time there.
+    for (unsigned Offset = 0; Offset != Net.degree(); ++Offset) {
+      GenIndex G = (W + Rotation + Offset) % Net.degree();
+      NodeId V = Net.next(W, G);
+      if (Depth[V] != std::numeric_limits<uint32_t>::max())
+        continue;
+      Depth[V] = Depth[W] + 1;
+      Height = std::max(Height, Depth[V]);
+      Children[W].push_back(G);
+      Parent[V] = W;
+      ParentLink[V] = G;
+      ++EdgeCount;
+      Queue.push_back(V);
+    }
+  }
+  assert(EdgeCount + 1 == Net.numNodes() && "network is disconnected");
+}
+
+std::vector<GenIndex> BroadcastTree::pathFromRoot(NodeId W) const {
+  std::vector<GenIndex> Reversed;
+  while (Depth[W] != 0) {
+    Reversed.push_back(ParentLink[W]);
+    W = Parent[W];
+  }
+  return {Reversed.rbegin(), Reversed.rend()};
+}

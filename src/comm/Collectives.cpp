@@ -1,0 +1,119 @@
+//===- comm/Collectives.cpp - Broadcast, scatter, gather -----------------===//
+
+#include "comm/Collectives.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace scg;
+
+CollectiveResult scg::simulateBroadcast(const ExplicitScg &Net,
+                                        const BroadcastTree &Tree,
+                                        CommModel Model) {
+  assert(Model != CommModel::SingleDimension &&
+         "SDC broadcast: use simulateMnbSdc for the SDC collective");
+  uint64_t N = Net.numNodes();
+  unsigned Degree = Net.degree();
+
+  // Token queues per (node, link); the source is node 0 = the identity,
+  // so relative and absolute coordinates coincide.
+  std::vector<std::deque<NodeId>> Queues(size_t(N) * Degree);
+  uint64_t Pending = 0;
+  for (GenIndex G : Tree.children(0)) {
+    Queues[G].push_back(0);
+    ++Pending;
+  }
+
+  CollectiveResult Result;
+  Result.LowerBound = Tree.height();
+  struct Arrival {
+    NodeId At;
+  };
+  std::vector<NodeId> Arrivals;
+  while (Pending != 0) {
+    ++Result.Steps;
+    Arrivals.clear();
+    for (NodeId U = 0; U != N; ++U) {
+      unsigned Budget = (Model == CommModel::SinglePort) ? 1 : Degree;
+      for (GenIndex G = 0; G != Degree && Budget != 0; ++G) {
+        auto &Queue = Queues[size_t(U) * Degree + G];
+        if (Queue.empty())
+          continue;
+        Queue.pop_front();
+        --Pending;
+        --Budget;
+        Arrivals.push_back(Net.next(U, G));
+      }
+    }
+    for (NodeId At : Arrivals)
+      for (GenIndex G : Tree.children(At)) {
+        Queues[size_t(At) * Degree + G].push_back(At);
+        ++Pending;
+      }
+  }
+  Result.Ratio = Result.LowerBound
+                     ? double(Result.Steps) / double(Result.LowerBound)
+                     : 0.0;
+  return Result;
+}
+
+CollectiveResult scg::simulateScatter(const ExplicitScg &Net,
+                                      const BroadcastTree &Tree,
+                                      CommModel Model) {
+  NetworkSimulator Sim(Net, Model);
+  for (NodeId W = 1; W != Net.numNodes(); ++W)
+    Sim.injectPacket(0, Tree.pathFromRoot(W));
+  SimulationResult Run =
+      Sim.run(/*MaxSteps=*/uint64_t(Net.numNodes()) * Net.degree() * 4);
+  assert(Run.Completed && "scatter did not complete");
+
+  CollectiveResult Result;
+  Result.Steps = Run.Steps;
+  Result.LowerBound =
+      Model == CommModel::SinglePort
+          ? Net.numNodes() - 1
+          : (Net.numNodes() - 1 + Net.degree() - 1) / Net.degree();
+  Result.Ratio = double(Result.Steps) / double(Result.LowerBound);
+  return Result;
+}
+
+CollectiveResult scg::simulateAllReduce(const ExplicitScg &Net,
+                                        const BroadcastTree &Tree,
+                                        CommModel Model) {
+  CollectiveResult Gather = simulateGather(Net, Tree, Model);
+  CollectiveResult Broadcast = simulateBroadcast(Net, Tree, Model);
+  CollectiveResult Result;
+  Result.Steps = Gather.Steps + Broadcast.Steps;
+  Result.LowerBound = Gather.LowerBound + Broadcast.LowerBound;
+  Result.Ratio = Result.LowerBound
+                     ? double(Result.Steps) / double(Result.LowerBound)
+                     : 0.0;
+  return Result;
+}
+
+CollectiveResult scg::simulateGather(const ExplicitScg &Net,
+                                     const BroadcastTree &Tree,
+                                     CommModel Model) {
+  assert(Net.network().isUndirected() &&
+         "gather reverses tree links; the network must be undirected");
+  const GeneratorSet &Gens = Net.network().generators();
+  NetworkSimulator Sim(Net, Model);
+  for (NodeId W = 1; W != Net.numNodes(); ++W) {
+    std::vector<GenIndex> Down = Tree.pathFromRoot(W);
+    std::vector<GenIndex> Up;
+    Up.reserve(Down.size());
+    for (auto It = Down.rbegin(); It != Down.rend(); ++It)
+      Up.push_back(*Gens.inverseOf(*It));
+    Sim.injectPacket(W, std::move(Up));
+  }
+  SimulationResult Run =
+      Sim.run(/*MaxSteps=*/uint64_t(Net.numNodes()) * Net.degree() * 4);
+  assert(Run.Completed && "gather did not complete");
+
+  CollectiveResult Result;
+  Result.Steps = Run.Steps;
+  Result.LowerBound =
+      (Net.numNodes() - 1 + Net.degree() - 1) / Net.degree();
+  Result.Ratio = double(Result.Steps) / double(Result.LowerBound);
+  return Result;
+}

@@ -1,0 +1,161 @@
+//===- comm/Mnb.cpp - Multinode broadcast (Corollary 2) ------------------===//
+
+#include "comm/Mnb.h"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+
+using namespace scg;
+
+uint64_t scg::mnbLowerBound(uint64_t NumNodes, unsigned Degree) {
+  assert(Degree != 0 && "degenerate network");
+  return (NumNodes - 1 + Degree - 1) / Degree;
+}
+
+uint64_t scg::mnbSdcLowerBound(uint64_t NumNodes) { return NumNodes - 1; }
+
+namespace {
+
+/// Shared MNB engine: per step, a link (u, g) fires iff \p LinkActive says
+/// so; each firing link moves one relative-rank token and the arrival
+/// replicates onto its tree children.
+MnbResult runMnb(const ExplicitScg &Net, const BroadcastTree &Tree,
+                 uint64_t LowerBound,
+                 const std::function<bool(uint64_t, GenIndex)> &LinkActive) {
+  uint64_t N = Net.numNodes();
+  unsigned Degree = Net.degree();
+  MnbResult Result;
+  Result.LowerBound = LowerBound;
+
+  std::vector<std::deque<NodeId>> Queues(size_t(N) * Degree);
+  uint64_t Pending = 0;
+  for (NodeId S = 0; S != N; ++S)
+    for (GenIndex G : Tree.children(0)) {
+      Queues[size_t(S) * Degree + G].push_back(0);
+      ++Pending;
+    }
+
+  uint64_t Transmissions = 0;
+  struct Arrival {
+    NodeId At;
+    NodeId Rel;
+  };
+  std::vector<Arrival> Arrivals;
+  while (Pending != 0) {
+    uint64_t Step = Result.Steps++;
+    Arrivals.clear();
+    for (GenIndex G = 0; G != Degree; ++G) {
+      if (!LinkActive(Step, G))
+        continue;
+      for (NodeId U = 0; U != N; ++U) {
+        auto &Queue = Queues[size_t(U) * Degree + G];
+        if (Queue.empty())
+          continue;
+        NodeId W = Queue.front();
+        Queue.pop_front();
+        --Pending;
+        ++Transmissions;
+        Arrivals.push_back({Net.next(U, G), Net.next(W, G)});
+      }
+    }
+    // Deliver and replicate after the transmission phase so a token moves
+    // at most one hop per step.
+    for (const Arrival &A : Arrivals) {
+      ++Result.Deliveries;
+      for (GenIndex G : Tree.children(A.Rel)) {
+        Queues[size_t(A.At) * Degree + G].push_back(A.Rel);
+        ++Pending;
+      }
+    }
+  }
+
+  assert(Result.Deliveries == N * (N - 1) && "MNB did not reach everyone");
+  Result.Ratio = Result.LowerBound
+                     ? double(Result.Steps) / double(Result.LowerBound)
+                     : 0.0;
+  Result.LinkUtilization =
+      Result.Steps
+          ? double(Transmissions) / double(N * Degree * Result.Steps)
+          : 0.0;
+  return Result;
+}
+
+} // namespace
+
+MnbResult scg::simulateMnb(const ExplicitScg &Net,
+                           const BroadcastTree &Tree) {
+  return runMnb(Net, Tree, mnbLowerBound(Net.numNodes(), Net.degree()),
+                [](uint64_t, GenIndex) { return true; });
+}
+
+MnbResult scg::simulateMnbStriped(const ExplicitScg &Net,
+                                  const std::vector<BroadcastTree> &Trees) {
+  assert(!Trees.empty() && "need at least one tree");
+  uint64_t N = Net.numNodes();
+  unsigned Degree = Net.degree();
+  MnbResult Result;
+  Result.LowerBound = mnbLowerBound(N, Degree);
+
+  // Queue entry: (relative rank, tree index) of the transmitting token.
+  struct Token {
+    NodeId Rel;
+    uint32_t Tree;
+  };
+  std::vector<std::deque<Token>> Queues(size_t(N) * Degree);
+  uint64_t Pending = 0;
+  for (NodeId S = 0; S != N; ++S) {
+    uint32_t T = S % Trees.size();
+    for (GenIndex G : Trees[T].children(0)) {
+      Queues[size_t(S) * Degree + G].push_back({0, T});
+      ++Pending;
+    }
+  }
+
+  uint64_t Transmissions = 0;
+  struct Arrival {
+    NodeId At;
+    Token Tok;
+  };
+  std::vector<Arrival> Arrivals;
+  while (Pending != 0) {
+    ++Result.Steps;
+    Arrivals.clear();
+    for (NodeId U = 0; U != N; ++U)
+      for (GenIndex G = 0; G != Degree; ++G) {
+        auto &Queue = Queues[size_t(U) * Degree + G];
+        if (Queue.empty())
+          continue;
+        Token Tok = Queue.front();
+        Queue.pop_front();
+        --Pending;
+        ++Transmissions;
+        Arrivals.push_back({Net.next(U, G), {Net.next(Tok.Rel, G), Tok.Tree}});
+      }
+    for (const Arrival &A : Arrivals) {
+      ++Result.Deliveries;
+      for (GenIndex G : Trees[A.Tok.Tree].children(A.Tok.Rel)) {
+        Queues[size_t(A.At) * Degree + G].push_back(A.Tok);
+        ++Pending;
+      }
+    }
+  }
+
+  assert(Result.Deliveries == N * (N - 1) && "MNB did not reach everyone");
+  Result.Ratio = double(Result.Steps) / double(Result.LowerBound);
+  Result.LinkUtilization =
+      double(Transmissions) / double(N * Degree * Result.Steps);
+  return Result;
+}
+
+MnbResult scg::simulateMnbSdc(const ExplicitScg &Net,
+                              const BroadcastTree &Tree,
+                              std::vector<GenIndex> Cycle) {
+  if (Cycle.empty())
+    for (GenIndex G = 0; G != Net.degree(); ++G)
+      Cycle.push_back(G);
+  return runMnb(Net, Tree, mnbSdcLowerBound(Net.numNodes()),
+                [Cycle = std::move(Cycle)](uint64_t Step, GenIndex G) {
+                  return Cycle[Step % Cycle.size()] == G;
+                });
+}

@@ -1,0 +1,79 @@
+//===- comm/PermutationRouting.cpp - Permutation traffic -----------------===//
+
+#include "comm/PermutationRouting.h"
+
+#include "emulation/ScgRouter.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+
+using namespace scg;
+
+TrafficPattern scg::randomTraffic(const ExplicitScg &Net, uint64_t Seed) {
+  // Fisher-Yates with the deterministic RNG.
+  TrafficPattern Pattern(Net.numNodes());
+  for (NodeId U = 0; U != Net.numNodes(); ++U)
+    Pattern[U] = U;
+  SplitMix64 Rng(Seed);
+  for (NodeId U = Net.numNodes(); U-- > 1;)
+    std::swap(Pattern[U], Pattern[Rng.nextBelow(U + 1)]);
+  return Pattern;
+}
+
+TrafficPattern scg::reversalTraffic(const ExplicitScg &Net) {
+  TrafficPattern Pattern(Net.numNodes());
+  for (NodeId U = 0; U != Net.numNodes(); ++U)
+    Pattern[U] = Net.numNodes() - 1 - U;
+  return Pattern;
+}
+
+TrafficPattern scg::translationTraffic(const ExplicitScg &Net, GenIndex G) {
+  assert(G < Net.degree() && "generator out of range");
+  TrafficPattern Pattern(Net.numNodes());
+  for (NodeId U = 0; U != Net.numNodes(); ++U)
+    Pattern[U] = Net.next(U, G);
+  return Pattern;
+}
+
+PermutationRoutingResult
+scg::simulatePermutationRouting(const ExplicitScg &Net,
+                                const TrafficPattern &Pattern,
+                                CommModel Model) {
+  assert(Pattern.size() == Net.numNodes() && "pattern must cover all nodes");
+  const SuperCayleyGraph &Host = Net.network();
+
+  PermutationRoutingResult Result;
+  NetworkSimulator Sim(Net, Model);
+  std::map<std::pair<NodeId, GenIndex>, uint64_t> Load;
+  uint64_t HopTotal = 0;
+  unsigned Longest = 0;
+  uint64_t Injected = 0;
+  for (NodeId U = 0; U != Net.numNodes(); ++U) {
+    if (Pattern[U] == U)
+      continue;
+    GeneratorPath Path =
+        routeViaStarEmulation(Host, Net.label(U), Net.label(Pattern[U]));
+    NodeId At = U;
+    for (GenIndex G : Path.hops()) {
+      Result.MaxLinkLoad = std::max(Result.MaxLinkLoad, ++Load[{At, G}]);
+      At = Net.next(At, G);
+    }
+    HopTotal += Path.length();
+    Longest = std::max(Longest, Path.length());
+    Sim.injectPacket(U, Path.hops());
+    ++Injected;
+  }
+
+  SimulationResult Run =
+      Sim.run(/*MaxSteps=*/uint64_t(Net.numNodes()) * Net.degree() * 8);
+  assert(Run.Completed && "permutation routing did not complete");
+  Result.Steps = Run.Steps;
+  Result.LowerBound = std::max<uint64_t>(Longest, Result.MaxLinkLoad);
+  Result.Ratio = Result.LowerBound
+                     ? double(Result.Steps) / double(Result.LowerBound)
+                     : 0.0;
+  Result.AverageRouteLength =
+      Injected ? double(HopTotal) / double(Injected) : 0.0;
+  return Result;
+}

@@ -1,0 +1,157 @@
+//===- comm/Simulator.cpp - Synchronous packet-level simulator -----------===//
+
+#include "comm/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace scg;
+
+std::string scg::commModelName(CommModel Model) {
+  switch (Model) {
+  case CommModel::AllPort:
+    return "all-port";
+  case CommModel::SinglePort:
+    return "single-port";
+  case CommModel::SingleDimension:
+    return "single-dimension";
+  }
+  assert(false && "unknown model");
+  return "?";
+}
+
+NetworkSimulator::NetworkSimulator(const ExplicitScg &Net, CommModel Model)
+    : Net(Net), Model(Model),
+      Queues(size_t(Net.numNodes()) * Net.degree()),
+      Busy(size_t(Net.numNodes()) * Net.degree()),
+      PortPointer(Net.numNodes(), 0) {
+  for (GenIndex G = 0; G != Net.degree(); ++G)
+    DimensionCycle.push_back(G);
+}
+
+void NetworkSimulator::injectPacket(NodeId Src, std::vector<GenIndex> Route,
+                                    unsigned FlitCount) {
+  assert(Src < Net.numNodes() && "source out of range");
+  assert(FlitCount >= 1 && "a message carries at least one flit");
+  Packets.push_back({Src, 0, FlitCount, std::move(Route)});
+  uint32_t Id = Packets.size() - 1;
+  const Packet &P = Packets.back();
+  if (P.Route.empty())
+    return; // Already at its destination; nothing to simulate.
+  Queues[queueIndex(Src, P.Route.front())].push_back(Id);
+  ++Pending;
+}
+
+void NetworkSimulator::setDimensionCycle(std::vector<GenIndex> Cycle) {
+  assert(!Cycle.empty() && "dimension cycle must be nonempty");
+  DimensionCycle = std::move(Cycle);
+}
+
+void NetworkSimulator::enqueueOrDeliver(uint32_t Id,
+                                        SimulationResult &Result) {
+  Packet &P = Packets[Id];
+  if (P.NextHop == P.Route.size()) {
+    ++Result.Delivered;
+    --Pending;
+    return;
+  }
+  Queues[queueIndex(P.At, P.Route[P.NextHop])].push_back(Id);
+}
+
+SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
+  SimulationResult Result;
+  unsigned Degree = Net.degree();
+  std::vector<uint32_t> Moved;
+
+  while (Pending != 0 && Result.Steps != MaxSteps) {
+    uint64_t Step = Result.Steps++;
+    Moved.clear();
+
+    // Sample queue occupancy before transmissions so the initial burst is
+    // visible in MaxQueueLength.
+    for (const auto &Queue : Queues)
+      Result.MaxQueueLength =
+          std::max<uint64_t>(Result.MaxQueueLength, Queue.size());
+
+    // Phase 0: complete multi-flit transmissions whose last flit lands
+    // this step.
+    for (size_t Q = 0; Q != Busy.size(); ++Q) {
+      InFlight &F = Busy[Q];
+      if (!F.Active || F.DoneStep != Step)
+        continue;
+      // The link stays occupied through this arrival step (SelectLink
+      // checks DoneStep >= Step), so do not clear Active here; the next
+      // selection simply overwrites the record.
+      Packet &P = Packets[F.Id];
+      GenIndex Link = P.Route[P.NextHop];
+      P.At = Net.next(P.At, Link);
+      ++P.NextHop;
+      Moved.push_back(F.Id);
+      ++Result.Transmissions;
+    }
+
+    // Phase 1: select one packet per permitted, idle link.
+    auto SelectLink = [&](NodeId Node, GenIndex Link) {
+      size_t Q = queueIndex(Node, Link);
+      if (Busy[Q].Active && Busy[Q].DoneStep >= Step)
+        return false; // mid-message: the link is occupied.
+      auto &Queue = Queues[Q];
+      if (Queue.empty())
+        return false;
+      uint32_t Id = Queue.front();
+      Packet &P = Packets[Id];
+      assert(P.At == Node && P.Route[P.NextHop] == Link &&
+             "queue corruption");
+      if (P.Flits > 1) {
+        // Occupy the link for Flits steps; arrival in phase 0 of step
+        // Step + Flits - 1.
+        Queue.pop_front();
+        Busy[Q] = {Id, Step + P.Flits - 1, true};
+        return true;
+      }
+      Queue.pop_front();
+      P.At = Net.next(Node, Link);
+      ++P.NextHop;
+      Moved.push_back(Id);
+      ++Result.Transmissions;
+      return true;
+    };
+
+    switch (Model) {
+    case CommModel::AllPort:
+      for (NodeId Node = 0; Node != Net.numNodes(); ++Node)
+        for (GenIndex G = 0; G != Degree; ++G)
+          SelectLink(Node, G);
+      break;
+    case CommModel::SinglePort:
+      for (NodeId Node = 0; Node != Net.numNodes(); ++Node) {
+        // Round-robin over links so no queue starves.
+        for (unsigned Offset = 0; Offset != Degree; ++Offset) {
+          GenIndex G = (PortPointer[Node] + Offset) % Degree;
+          if (SelectLink(Node, G)) {
+            PortPointer[Node] = (G + 1) % Degree;
+            break;
+          }
+        }
+      }
+      break;
+    case CommModel::SingleDimension: {
+      GenIndex G = DimensionCycle[Step % DimensionCycle.size()];
+      for (NodeId Node = 0; Node != Net.numNodes(); ++Node)
+        SelectLink(Node, G);
+      break;
+    }
+    }
+
+    // Phase 2: re-enqueue or deliver the moved packets. Two-phase keeps a
+    // packet from hopping twice in one step.
+    for (uint32_t Id : Moved)
+      enqueueOrDeliver(Id, Result);
+  }
+
+  Result.Completed = (Pending == 0);
+  uint64_t LinkSteps = uint64_t(Net.numNodes()) * Degree * Result.Steps;
+  Result.LinkUtilization =
+      LinkSteps ? double(Result.Transmissions) / double(LinkSteps) : 0.0;
+  return Result;
+}

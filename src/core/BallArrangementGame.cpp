@@ -1,0 +1,57 @@
+//===- core/BallArrangementGame.cpp - The BAG of Section 2 ---------------===//
+
+#include "core/BallArrangementGame.h"
+
+#include <cassert>
+
+using namespace scg;
+
+BallArrangementGame::BallArrangementGame(const SuperCayleyGraph &Network,
+                                         Permutation Start)
+    : Net(Network), Config(std::move(Start)) {
+  assert(Config.size() == Net.numSymbols() &&
+         "configuration size must match the game");
+}
+
+unsigned BallArrangementGame::ballColor(unsigned Symbol) const {
+  assert(Symbol >= 1 && Symbol <= Net.numSymbols() && "symbol out of range");
+  if (Symbol == 1)
+    return 0;
+  return (Symbol - 2) / Net.ballsPerBox() + 1;
+}
+
+unsigned BallArrangementGame::numMisplacedBalls() const {
+  unsigned Count = 0;
+  unsigned K = Net.numSymbols();
+  for (unsigned Pos = 0; Pos != K; ++Pos) {
+    unsigned Symbol = Config[Pos] + 1; // 1-based ball number.
+    unsigned Color = ballColor(Symbol);
+    // Position 0 is outside the boxes (color 0 slot); position P >= 1 sits
+    // in box (P-1)/n + 1.
+    unsigned Box = (Pos == 0) ? 0 : (Pos - 1) / Net.ballsPerBox() + 1;
+    if (Color != Box)
+      ++Count;
+  }
+  return Count;
+}
+
+void BallArrangementGame::play(GenIndex I) {
+  assert(I < Net.degree() && "move index out of range");
+  Config = Net.neighbor(Config, I);
+  History.push_back(I);
+}
+
+bool BallArrangementGame::undo() {
+  if (History.empty())
+    return false;
+  GenIndex Last = History.back();
+  std::optional<GenIndex> Inv = Net.generators().inverseOf(Last);
+  assert(Inv && "cannot undo: inverse generator not in the set");
+  Config = Net.neighbor(Config, *Inv);
+  History.pop_back();
+  return true;
+}
+
+std::string BallArrangementGame::render() const {
+  return Config.strBoxes(Net.ballsPerBox());
+}

@@ -1,0 +1,75 @@
+//===- core/BallArrangementGame.h - The BAG of Section 2 -------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ball-arrangement game (BAG) of Section 2: l boxes, k = n*l + 1 balls
+/// (one outside ball), moves drawn from a generator set. A configuration is
+/// a permutation: position 1 holds the outside ball, positions
+/// (i-1)n+2 .. in+1 hold box i. Ball s (1-based symbol) has color 0 if
+/// s = 1 and color ceil((s-1)/n) otherwise; the game is solved when every
+/// color-i ball sits in box i in proper order, i.e. the configuration is the
+/// identity permutation.
+///
+/// The class is a thin, replayable wrapper over a SuperCayleyGraph: playing
+/// move g from configuration U goes to U o g, which is exactly traversing
+/// the corresponding Cayley-graph link. Solving the game from U to the
+/// identity is routing from U to the identity node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_CORE_BALLARRANGEMENTGAME_H
+#define SCG_CORE_BALLARRANGEMENTGAME_H
+
+#include "core/SuperCayleyGraph.h"
+
+namespace scg {
+
+/// A replayable ball-arrangement game over a super Cayley graph's moves.
+class BallArrangementGame {
+public:
+  /// Starts a game on \p Network from configuration \p Start.
+  BallArrangementGame(const SuperCayleyGraph &Network, Permutation Start);
+
+  /// Returns the current configuration.
+  const Permutation &configuration() const { return Config; }
+
+  /// Returns the color of the ball with 1-based symbol \p Symbol:
+  /// 0 for the special ball, otherwise the box index 1..l it belongs to.
+  unsigned ballColor(unsigned Symbol) const;
+
+  /// True when every ball is home (configuration is the identity).
+  bool isSolved() const { return Config.isIdentity(); }
+
+  /// Number of balls whose current box differs from their color (the
+  /// outside ball counts as misplaced unless it is ball 1). A crude
+  /// progress measure; reaches 0 only at or near the solved state.
+  unsigned numMisplacedBalls() const;
+
+  /// Plays move \p I (an index into the network's generator set).
+  void play(GenIndex I);
+
+  /// Undoes the last played move; requires the generator set to contain the
+  /// inverse action (true for all undirected networks). Returns false if no
+  /// move to undo.
+  bool undo();
+
+  /// The moves played so far, oldest first.
+  const std::vector<GenIndex> &history() const { return History; }
+
+  /// Renders the configuration with box separators, e.g. "1 | 3 2 | 4 5".
+  std::string render() const;
+
+  const SuperCayleyGraph &network() const { return Net; }
+
+private:
+  const SuperCayleyGraph &Net;
+  Permutation Config;
+  std::vector<GenIndex> History;
+};
+
+} // namespace scg
+
+#endif // SCG_CORE_BALLARRANGEMENTGAME_H

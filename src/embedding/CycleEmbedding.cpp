@@ -1,0 +1,66 @@
+//===- embedding/CycleEmbedding.cpp - Rings via SJT Hamiltonicity --------===//
+
+#include "embedding/CycleEmbedding.h"
+
+#include "emulation/SdcEmulation.h"
+#include "perm/SJT.h"
+#include "routing/StarRouter.h"
+
+#include <cassert>
+
+using namespace scg;
+
+Graph scg::ringGraph(uint64_t NumNodes) {
+  assert(NumNodes >= 3 && NumNodes <= (uint64_t(1) << 31) &&
+         "ring size out of range");
+  Graph G(static_cast<NodeId>(NumNodes));
+  for (NodeId I = 0; I != NumNodes; ++I)
+    G.addUndirectedEdge(I, (I + 1) % NumNodes);
+  return G;
+}
+
+/// Shared node map: S_k in SJT order; consecutive labels (cyclically)
+/// differ by one pair transposition.
+static std::vector<Permutation> sjtCycle(unsigned K) {
+  std::vector<Permutation> Order = sjtOrder(K);
+  // Closing edge: the last SJT permutation differs from the identity by
+  // one transposition (checked here rather than assumed).
+  Permutation Closing = Order.back().inverse().compose(Order.front());
+  assert(Closing.numDisplaced() == 2 && "SJT order does not close a cycle");
+  return Order;
+}
+
+Embedding scg::embedRingIntoTn(const SuperCayleyGraph &Tn) {
+  assert(Tn.kind() == NetworkKind::Transposition && "host must be a TN");
+  unsigned K = Tn.numSymbols();
+  Embedding E;
+  E.Host = &Tn;
+  E.NodeMap = sjtCycle(K);
+  const SuperCayleyGraph *Host = &Tn;
+  std::vector<Permutation> Map = E.NodeMap;
+  E.Route = [Host, Map = std::move(Map)](NodeId U, NodeId V) {
+    std::optional<GenIndex> Link = linkBetween(*Host, Map[U], Map[V]);
+    assert(Link && "ring neighbors are not TN-adjacent");
+    GeneratorPath Path;
+    Path.append(*Link);
+    return Path;
+  };
+  return E;
+}
+
+Embedding scg::embedRingIntoStar(const SuperCayleyGraph &Star) {
+  assert(Star.kind() == NetworkKind::Star && "host must be a star graph");
+  unsigned K = Star.numSymbols();
+  Embedding E;
+  E.Host = &Star;
+  E.NodeMap = sjtCycle(K);
+  const SuperCayleyGraph *Host = &Star;
+  std::vector<Permutation> Map = E.NodeMap;
+  E.Route = [Host, Map = std::move(Map)](NodeId U, NodeId V) {
+    GeneratorPath Path;
+    for (unsigned Dim : starRouteDimensions(Map[U], Map[V]))
+      Path.append(Dim - 2); // star generators are T_2..T_k in order.
+    return Path;
+  };
+  return E;
+}

@@ -1,0 +1,41 @@
+//===- embedding/CycleEmbedding.h - Rings via SJT Hamiltonicity -*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ring (cycle) embeddings, the remaining guest family of [11] behind
+/// Corollary 6's mesh machinery. The Steinhaus-Johnson-Trotter order is a
+/// Hamiltonian path in the bubble-sort graph whose endpoints (identity and
+/// the single swap of the two smallest symbols) differ by one adjacent
+/// transposition, so S_k in SJT order is a Hamiltonian CYCLE of the
+/// transposition network: the k!-node ring embeds into the k-TN with
+/// load 1, expansion 1, dilation 1. Composing with the Theorem 6/7
+/// templates gives O(1)-dilation rings in every super Cayley graph class;
+/// composing each adjacent transposition with its 3-hop star conjugate
+/// gives the dilation-3 ring in the star graph of [11].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMBEDDING_CYCLEEMBEDDING_H
+#define SCG_EMBEDDING_CYCLEEMBEDDING_H
+
+#include "embedding/Embedding.h"
+
+namespace scg {
+
+/// Builds the k!-node ring guest graph (node i adjacent to i+-1 mod k!).
+Graph ringGraph(uint64_t NumNodes);
+
+/// Dilation-1 embedding of the k!-node ring into \p Tn (the transposition
+/// network on k symbols) along the SJT Hamiltonian cycle.
+Embedding embedRingIntoTn(const SuperCayleyGraph &Tn);
+
+/// Dilation-3 embedding of the k!-node ring into \p Star along the same
+/// cycle, each adjacent transposition expanded to T_i T_j T_i.
+Embedding embedRingIntoStar(const SuperCayleyGraph &Star);
+
+} // namespace scg
+
+#endif // SCG_EMBEDDING_CYCLEEMBEDDING_H

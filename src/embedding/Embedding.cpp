@@ -1,0 +1,68 @@
+//===- embedding/Embedding.cpp - Embedding framework + metrics -----------===//
+
+#include "embedding/Embedding.h"
+
+#include "perm/Lehmer.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace scg;
+
+EmbeddingMetrics scg::measureEmbedding(const Graph &Guest,
+                                       const Embedding &E) {
+  assert(E.Host && "embedding must name a host");
+  assert(E.NodeMap.size() == Guest.numNodes() &&
+         "node map must cover the guest");
+  const SuperCayleyGraph &Host = *E.Host;
+  EmbeddingMetrics Metrics;
+  Metrics.Valid = true;
+
+  // Load: multiplicity of host labels.
+  std::unordered_map<Permutation, unsigned, PermutationHash> Multiplicity;
+  for (const Permutation &P : E.NodeMap) {
+    assert(P.size() == Host.numSymbols() && "label size mismatch");
+    Metrics.Load = std::max(Metrics.Load, ++Multiplicity[P]);
+  }
+  Metrics.Expansion =
+      Guest.numNodes()
+          ? double(Host.numNodes()) / double(Guest.numNodes())
+          : 0.0;
+
+  // Dilation and congestion over all directed guest edges.
+  std::unordered_map<uint64_t, uint32_t> LinkUse;
+  unsigned Degree = Host.degree();
+  uint64_t EdgeCount = 0, HopTotal = 0;
+  for (NodeId U = 0; U != Guest.numNodes(); ++U) {
+    for (NodeId V : Guest.neighbors(U)) {
+      GeneratorPath Path = E.Route(U, V);
+      if (!Path.connects(Host, E.NodeMap[U], E.NodeMap[V])) {
+        Metrics.Valid = false;
+        continue;
+      }
+      ++EdgeCount;
+      HopTotal += Path.length();
+      Metrics.Dilation = std::max(Metrics.Dilation, Path.length());
+      Permutation Cur = E.NodeMap[U];
+      for (GenIndex G : Path.hops()) {
+        uint64_t Key = rankPermutation(Cur) * Degree + G;
+        Metrics.Congestion = std::max<uint64_t>(Metrics.Congestion,
+                                                ++LinkUse[Key]);
+        Cur = Host.neighbor(Cur, G);
+      }
+    }
+  }
+  Metrics.AverageRouteLength =
+      EdgeCount ? double(HopTotal) / double(EdgeCount) : 0.0;
+  return Metrics;
+}
+
+std::vector<Permutation> scg::identityNodeMap(unsigned K) {
+  assert(K <= 9 && "identity node map materializes k! labels");
+  uint64_t N = factorial(K);
+  std::vector<Permutation> Map;
+  Map.reserve(N);
+  for (uint64_t Rank = 0; Rank != N; ++Rank)
+    Map.push_back(unrankPermutation(Rank, K));
+  return Map;
+}

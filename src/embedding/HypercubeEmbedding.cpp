@@ -1,0 +1,65 @@
+//===- embedding/HypercubeEmbedding.cpp - Corollary 5 --------------------===//
+
+#include "embedding/HypercubeEmbedding.h"
+
+#include "core/Generator.h"
+
+#include <cassert>
+
+using namespace scg;
+
+unsigned scg::hypercubeDimensionFor(unsigned K) {
+  assert(K >= 3 && "need k >= 3 for one disjoint pair beyond position 1");
+  return (K - 1) / 2;
+}
+
+Embedding scg::embedHypercubeIntoStar(const SuperCayleyGraph &Star) {
+  assert(Star.kind() == NetworkKind::Star && "host must be a star graph");
+  unsigned K = Star.numSymbols();
+  unsigned D = hypercubeDimensionFor(K);
+  assert(D < 31 && "hypercube too large");
+
+  // Bit m toggles the pair transposition of 1-based positions
+  // (2m+2, 2m+3); all pairs avoid position 1 and are disjoint.
+  std::vector<Permutation> BitAction;
+  for (unsigned M = 0; M != D; ++M)
+    BitAction.push_back(makePairTransposition(K, 2 * M + 2, 2 * M + 3).Sigma);
+
+  Embedding E;
+  E.Host = &Star;
+  uint64_t N = uint64_t(1) << D;
+  E.NodeMap.reserve(N);
+  for (uint64_t Bits = 0; Bits != N; ++Bits) {
+    Permutation P = Permutation::identity(K);
+    for (unsigned M = 0; M != D; ++M)
+      if (Bits & (uint64_t(1) << M))
+        P = P.compose(BitAction[M]);
+    E.NodeMap.push_back(std::move(P));
+  }
+
+  const SuperCayleyGraph *Host = &Star;
+  E.Route = [Host, D](NodeId U, NodeId V) {
+    uint64_t Diff = uint64_t(U) ^ uint64_t(V);
+    assert(Diff && !(Diff & (Diff - 1)) && "nodes differ in one bit");
+    unsigned M = 0;
+    while (!(Diff & (uint64_t(1) << M)))
+      ++M;
+    assert(M < D && "bit out of range");
+    (void)D;
+    // T_{i,j} = T_i T_j T_i with i = 2m+2, j = 2m+3; the conjugation is
+    // its own inverse, so the same word serves both edge directions.
+    unsigned I = 2 * M + 2, J = 2 * M + 3;
+    auto Gen = [Host](unsigned Dim) {
+      std::optional<GenIndex> G = Host->generators().findByAction(
+          makeTransposition(Host->numSymbols(), Dim).Sigma);
+      assert(G && "star generator missing");
+      return *G;
+    };
+    GeneratorPath Path;
+    Path.append(Gen(I));
+    Path.append(Gen(J));
+    Path.append(Gen(I));
+    return Path;
+  };
+  return E;
+}

@@ -1,0 +1,37 @@
+//===- embedding/HypercubeEmbedding.h - Corollary 5 ------------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hypercube -> star embedding behind Corollary 5. The paper cites the
+/// d <= k log2 k - 3k/2 construction of [14]; as documented in DESIGN.md
+/// (substitution 3), this library implements the commuting-transposition
+/// construction instead: bit m of a d-cube node toggles the pair
+/// transposition of positions (2m+2, 2m+3), so a node maps to the product
+/// of its set bits' transpositions (all disjoint, hence commuting), and a
+/// hypercube edge maps to the 3-hop star word T_i T_j T_i. This gives
+/// d = floor((k-1)/2), dilation 3, load 1 -- the same composition path with
+/// a smaller dimension budget; Corollary 5's composed dilations are
+/// verified exactly on top of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMBEDDING_HYPERCUBEEMBEDDING_H
+#define SCG_EMBEDDING_HYPERCUBEEMBEDDING_H
+
+#include "embedding/Embedding.h"
+
+namespace scg {
+
+/// Largest hypercube dimension this construction supports in a k-star.
+unsigned hypercubeDimensionFor(unsigned K);
+
+/// Builds the dilation-3 embedding of the hypercubeDimensionFor(k)-cube
+/// into \p Star (guest node id = bit vector, as built by hypercube()).
+Embedding embedHypercubeIntoStar(const SuperCayleyGraph &Star);
+
+} // namespace scg
+
+#endif // SCG_EMBEDDING_HYPERCUBEEMBEDDING_H

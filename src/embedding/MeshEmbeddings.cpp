@@ -1,0 +1,101 @@
+//===- embedding/MeshEmbeddings.cpp - Corollaries 6-7 meshes -------------===//
+
+#include "embedding/MeshEmbeddings.h"
+
+#include "emulation/SdcEmulation.h"
+#include "networks/Classic.h"
+#include "perm/Lehmer.h"
+#include "perm/SJT.h"
+#include "routing/StarRouter.h"
+
+#include <cassert>
+
+using namespace scg;
+
+SjtMeshShape scg::sjtMeshShape(unsigned K) {
+  assert(K >= 2 && "need at least two symbols");
+  return {factorial(K - 1), K};
+}
+
+/// Inserts symbol K-1 into \p Small (a permutation of 0..K-2) at position
+/// \p Col, producing a permutation of 0..K-1.
+static Permutation insertLargest(const Permutation &Small, unsigned Col,
+                                 unsigned K) {
+  std::vector<uint8_t> Word;
+  Word.reserve(K);
+  for (unsigned P = 0; P != Small.size(); ++P) {
+    if (P == Col)
+      Word.push_back(static_cast<uint8_t>(K - 1));
+    Word.push_back(Small[P]);
+  }
+  if (Col == K - 1)
+    Word.push_back(static_cast<uint8_t>(K - 1));
+  return Permutation::fromOneLine(std::move(Word));
+}
+
+Embedding scg::embedSjtMeshIntoTn(const SuperCayleyGraph &Tn) {
+  assert(Tn.kind() == NetworkKind::Transposition && "host must be a TN");
+  unsigned K = Tn.numSymbols();
+  assert(K >= 2 && K <= 9 && "SJT mesh materializes k! labels");
+  SjtMeshShape Shape = sjtMeshShape(K);
+
+  Embedding E;
+  E.Host = &Tn;
+  E.NodeMap.reserve(Shape.Rows * Shape.Cols);
+  for (const Permutation &Row : sjtOrder(K - 1))
+    for (unsigned Col = 0; Col != Shape.Cols; ++Col)
+      E.NodeMap.push_back(insertLargest(Row, Col, K));
+
+  const SuperCayleyGraph *Host = &Tn;
+  std::vector<Permutation> Map = E.NodeMap; // shared by the router.
+  E.Route = [Host, Map = std::move(Map)](NodeId U, NodeId V) {
+    std::optional<GenIndex> Link = linkBetween(*Host, Map[U], Map[V]);
+    assert(Link && "SJT mesh neighbors are not TN-adjacent");
+    GeneratorPath Path;
+    Path.append(*Link);
+    return Path;
+  };
+  return E;
+}
+
+std::vector<unsigned> scg::lehmerMeshDims(unsigned K) {
+  std::vector<unsigned> Dims;
+  for (unsigned M = 2; M <= K; ++M)
+    Dims.push_back(M);
+  return Dims;
+}
+
+Embedding scg::embedLehmerMeshIntoStar(const SuperCayleyGraph &Star) {
+  assert(Star.kind() == NetworkKind::Star && "host must be a star graph");
+  unsigned K = Star.numSymbols();
+  assert(K >= 2 && K <= 9 && "Lehmer mesh materializes k! labels");
+  std::vector<unsigned> Dims = lehmerMeshDims(K);
+
+  Embedding E;
+  E.Host = &Star;
+  uint64_t N = factorial(K);
+  E.NodeMap.reserve(N);
+  for (uint64_t Id = 0; Id != N; ++Id) {
+    std::vector<unsigned> Coords = mixedRadixCoords(Id, Dims);
+    // Guest coordinate m has extent m+2 and feeds Lehmer digit k-m-2
+    // (whose radix is k - (k-m-2) = m+2).
+    std::vector<uint8_t> Code(K, 0);
+    for (unsigned M = 0; M + 2 <= K; ++M)
+      Code[K - M - 2] = static_cast<uint8_t>(Coords[M]);
+    E.NodeMap.push_back(fromLehmerCode(Code));
+  }
+
+  const SuperCayleyGraph *Host = &Star;
+  std::vector<Permutation> Map = E.NodeMap;
+  E.Route = [Host, Map = std::move(Map)](NodeId U, NodeId V) {
+    GeneratorPath Path;
+    for (unsigned Dim : starRouteDimensions(Map[U], Map[V])) {
+      std::optional<GenIndex> G = Host->generators().findByAction(
+          makeTransposition(Host->numSymbols(), Dim).Sigma);
+      assert(G && "star generator missing");
+      Path.append(*G);
+    }
+    return Path;
+  };
+  return E;
+}

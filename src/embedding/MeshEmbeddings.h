@@ -1,0 +1,59 @@
+//===- embedding/MeshEmbeddings.h - Corollaries 6-7 meshes -----*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mesh embeddings of Section 5:
+///
+/// 1. SJT mesh: the (k-1)! x k mesh embeds one-to-one into the k-TN with
+///    dilation 1 (the [12] result behind Corollary 6). Row r is the r-th
+///    permutation of the k-1 small symbols in Steinhaus-Johnson-Trotter
+///    order; column c inserts the largest symbol at position c. Horizontal
+///    neighbors transpose the largest symbol with an adjacent one; vertical
+///    neighbors apply the SJT adjacent transposition of the row step --
+///    both single pair transpositions, i.e. TN links.
+///
+/// 2. Lehmer mesh: the 2 x 3 x ... x k mixed-radix mesh embeds one-to-one
+///    into the k-star with dilation 3 (the [11] result behind Corollary 7):
+///    coordinates are Lehmer digits; a +-1 digit step transposes the symbol
+///    at that digit's position with a symbol further right, which is one
+///    star hop when the position is 1 and a 3-hop conjugate otherwise.
+///
+/// Composition with the TN -> SCG and star -> SCG templates then yields all
+/// the O(1)-dilation mesh embeddings of Corollaries 6 and 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMBEDDING_MESHEMBEDDINGS_H
+#define SCG_EMBEDDING_MESHEMBEDDINGS_H
+
+#include "embedding/Embedding.h"
+
+namespace scg {
+
+/// Shape of the SJT mesh for k symbols: (k-1)! rows, k columns.
+struct SjtMeshShape {
+  uint64_t Rows;
+  unsigned Cols;
+};
+SjtMeshShape sjtMeshShape(unsigned K);
+
+/// Builds the (k-1)! x k mesh guest graph for \p K symbols (node id =
+/// row * k + col) together with its dilation-1 embedding into \p Tn, which
+/// must be the transposition network on \p K symbols and must outlive the
+/// embedding.
+Embedding embedSjtMeshIntoTn(const SuperCayleyGraph &Tn);
+
+/// Builds the dilation-3 embedding of the 2 x 3 x ... x k mesh (built by
+/// lehmerMeshDims/mixedRadixMesh) into \p Star, the star graph on k
+/// symbols.
+Embedding embedLehmerMeshIntoStar(const SuperCayleyGraph &Star);
+
+/// The guest extents of the Lehmer mesh on \p K symbols: {2, 3, ..., k}.
+std::vector<unsigned> lehmerMeshDims(unsigned K);
+
+} // namespace scg
+
+#endif // SCG_EMBEDDING_MESHEMBEDDINGS_H

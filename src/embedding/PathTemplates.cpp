@@ -1,0 +1,106 @@
+//===- embedding/PathTemplates.cpp - Generator path templates ------------===//
+
+#include "embedding/PathTemplates.h"
+
+#include "embedding/TnEmbeddings.h"
+#include "emulation/SdcEmulation.h"
+#include "perm/Lehmer.h"
+
+#include <cassert>
+
+using namespace scg;
+
+PathTemplateMap PathTemplateMap::create(const SuperCayleyGraph &Guest,
+                                        const SuperCayleyGraph &Host) {
+  assert(Guest.numSymbols() == Host.numSymbols() &&
+         "guest and host must act on the same symbols");
+  assert(supportsStarEmulation(Host) && "unsupported host kind");
+  PathTemplateMap Map(Guest, Host);
+  const GeneratorSet &Gens = Guest.generators();
+  Map.Templates.reserve(Gens.size());
+  for (GenIndex G = 0; G != Gens.size(); ++G) {
+    GeneratorPath Template;
+    switch (Guest.kind()) {
+    case NetworkKind::Star: {
+      // Guest generators were added as T_2 .. T_k in order.
+      unsigned Dim = G + 2;
+      assert(Gens[G].Sigma ==
+                 makeTransposition(Guest.numSymbols(), Dim).Sigma &&
+             "unexpected star generator order");
+      Template = starDimensionPath(Host, Dim);
+      break;
+    }
+    case NetworkKind::Transposition: {
+      // Recover (i, j) from the action: the two displaced positions.
+      const Permutation &Sigma = Gens[G].Sigma;
+      unsigned I = 0, J = 0;
+      for (unsigned P = 0; P != Sigma.size(); ++P)
+        if (Sigma[P] != P) {
+          if (!I)
+            I = P + 1;
+          else
+            J = P + 1;
+        }
+      assert(I && J && "TN generator is not a pair transposition");
+      Template = tnPairPath(Host, I, J);
+      break;
+    }
+    default:
+      assert(false && "no templates for this guest kind");
+    }
+    assert(Template.netEffect(Host) == Gens[G].Sigma &&
+           "template does not realize the guest generator");
+    Map.Templates.push_back(std::move(Template));
+  }
+  return Map;
+}
+
+GeneratorPath PathTemplateMap::expand(const GeneratorPath &GuestPath) const {
+  GeneratorPath HostPath;
+  for (GenIndex G : GuestPath.hops())
+    for (GenIndex H : Templates[G].hops())
+      HostPath.append(H);
+  return HostPath;
+}
+
+unsigned PathTemplateMap::maxTemplateLength() const {
+  unsigned Max = 0;
+  for (const GeneratorPath &T : Templates)
+    Max = std::max(Max, T.length());
+  return Max;
+}
+
+Embedding scg::templateEmbedding(const PathTemplateMap &Templates) {
+  unsigned K = Templates.guest().numSymbols();
+  Embedding E;
+  E.Host = &Templates.host();
+  E.NodeMap = identityNodeMap(K);
+  const SuperCayleyGraph *Guest = &Templates.guest();
+  PathTemplateMap Map = Templates; // captured by value.
+  E.Route = [Guest, Map = std::move(Map), K](NodeId U, NodeId V) {
+    Permutation A = unrankPermutation(U, K);
+    Permutation B = unrankPermutation(V, K);
+    std::optional<GenIndex> G = Guest->generators().findByAction(
+        A.inverse().compose(B));
+    assert(G && "guest nodes are not adjacent");
+    return Map[*G];
+  };
+  return E;
+}
+
+Embedding scg::composeEmbedding(const Embedding &Inner,
+                                const PathTemplateMap &Templates) {
+  // Structural (not pointer) identity: the factories produce generators in
+  // a fixed order, so equal names imply compatible generator indices.
+  assert(Inner.Host && Inner.Host->name() == Templates.guest().name() &&
+         "inner embedding's host must be the template guest");
+  Embedding E;
+  E.Host = &Templates.host();
+  E.NodeMap = Inner.NodeMap;
+  auto InnerRoute = Inner.Route;
+  PathTemplateMap Map = Templates;
+  E.Route = [InnerRoute, Map = std::move(Map)](NodeId U, NodeId V) {
+    return Map.expand(InnerRoute(U, V));
+  };
+  return E;
+}

@@ -1,0 +1,72 @@
+//===- embedding/PathTemplates.h - Generator path templates ----*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A path-template map from a guest Cayley graph to a host super Cayley
+/// graph on the same symbol set: one host word per guest generator, each
+/// verified to realize the guest generator's action. Because Cayley-graph
+/// edges are translation-invariant, one template per generator routes every
+/// guest edge, and embeddings compose mechanically: a guest path expands
+/// hop by hop. This is how Corollaries 4-7 turn an embedding into the star
+/// graph into embeddings into all ten super Cayley graph classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMBEDDING_PATHTEMPLATES_H
+#define SCG_EMBEDDING_PATHTEMPLATES_H
+
+#include "embedding/Embedding.h"
+
+namespace scg {
+
+/// Per-guest-generator host words (Cayley-to-Cayley edge routing).
+class PathTemplateMap {
+public:
+  /// Builds templates for every generator of \p Guest into \p Host; both
+  /// must act on the same number of symbols. Every template's net effect is
+  /// asserted to equal the guest generator's action. Supported guests: the
+  /// star graph and the transposition network; supported hosts: everything
+  /// supportsStarEmulation() accepts.
+  static PathTemplateMap create(const SuperCayleyGraph &Guest,
+                                const SuperCayleyGraph &Host);
+
+  const SuperCayleyGraph &guest() const { return *Guest; }
+  const SuperCayleyGraph &host() const { return *Host; }
+
+  /// Host word for guest generator \p G.
+  const GeneratorPath &operator[](GenIndex G) const {
+    assert(G < Templates.size() && "guest generator out of range");
+    return Templates[G];
+  }
+
+  /// Expands a guest word hop by hop into a host word.
+  GeneratorPath expand(const GeneratorPath &GuestPath) const;
+
+  /// Longest template (the dilation of the identity-map embedding).
+  unsigned maxTemplateLength() const;
+
+private:
+  PathTemplateMap(const SuperCayleyGraph &Guest, const SuperCayleyGraph &Host)
+      : Guest(&Guest), Host(&Host) {}
+
+  const SuperCayleyGraph *Guest;
+  const SuperCayleyGraph *Host;
+  std::vector<GeneratorPath> Templates; ///< indexed by guest GenIndex.
+};
+
+/// The identity-node-map embedding of \p Guest into \p Host induced by a
+/// template map (used by the star->SCG and TN->SCG theorems). \p GuestView
+/// must be the explicit Lehmer-ranked graph of \p Templates.guest().
+Embedding templateEmbedding(const PathTemplateMap &Templates);
+
+/// Rebases an embedding into the template map's guest network onto its
+/// host: same node map, routes expanded through the templates.
+Embedding composeEmbedding(const Embedding &Inner,
+                           const PathTemplateMap &Templates);
+
+} // namespace scg
+
+#endif // SCG_EMBEDDING_PATHTEMPLATES_H

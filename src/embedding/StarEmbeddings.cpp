@@ -1,0 +1,59 @@
+//===- embedding/StarEmbeddings.cpp - Star -> SCG embeddings -------------===//
+
+#include "embedding/StarEmbeddings.h"
+
+#include "emulation/SdcEmulation.h"
+#include "perm/Lehmer.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace scg;
+
+Embedding scg::embedStarInto(const SuperCayleyGraph &Star,
+                             const SuperCayleyGraph &Host) {
+  assert(Star.kind() == NetworkKind::Star && "guest must be a star graph");
+  return templateEmbedding(PathTemplateMap::create(Star, Host));
+}
+
+uint64_t scg::starDimensionCongestion(const SuperCayleyGraph &Host,
+                                      unsigned Dim) {
+  unsigned K = Host.numSymbols();
+  assert(K <= 9 && "exact congestion enumerates k! sources");
+  GeneratorPath Template = starDimensionPath(Host, Dim);
+  // Route the dimension-Dim link of every node U (both directions are the
+  // same template since T_Dim is an involution and the path is symmetric in
+  // its effect; we route from every U, which covers both directions).
+  std::unordered_map<uint64_t, uint32_t> LinkUse;
+  uint64_t Congestion = 0;
+  uint64_t N = factorial(K);
+  unsigned Degree = Host.degree();
+  for (uint64_t Rank = 0; Rank != N; ++Rank) {
+    Permutation Cur = unrankPermutation(Rank, K);
+    for (GenIndex G : Template.hops()) {
+      uint64_t Key = rankPermutation(Cur) * Degree + G;
+      Congestion = std::max<uint64_t>(Congestion, ++LinkUse[Key]);
+      Cur = Host.neighbor(Cur, G);
+    }
+  }
+  return Congestion;
+}
+
+uint64_t scg::paperStarCongestionBound(const SuperCayleyGraph &Host) {
+  switch (Host.kind()) {
+  case NetworkKind::InsertionSelection:
+    return 1;
+  case NetworkKind::MacroStar:
+  case NetworkKind::CompleteRotationStar:
+  case NetworkKind::MacroIS:
+  case NetworkKind::CompleteRotationIS:
+    return std::max<uint64_t>(2 * Host.ballsPerBox(), Host.numBoxes());
+  default:
+    assert(false && "the paper states no congestion bound for this kind");
+    return 0;
+  }
+}
+
+unsigned scg::paperStarDilationBound(const SuperCayleyGraph &Host) {
+  return paperSdcSlowdownBound(Host);
+}

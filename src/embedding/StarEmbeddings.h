@@ -1,0 +1,43 @@
+//===- embedding/StarEmbeddings.h - Star -> SCG embeddings -----*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The star-graph embeddings of Section 3: the (ln+1)-star maps onto a
+/// same-sized super Cayley graph with the identity node map, each star
+/// link T_j routed along its emulation path. Section 3's quoted numbers:
+///
+///   dilation   2 (IS), 3 (MS/complete-RS), 4 (MIS/complete-RIS)
+///   congestion 1 (IS), max(2n, l) (the four box classes)
+///   per-dimension congestion: 2 for j > n+1, 1 otherwise
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMBEDDING_STAREMBEDDINGS_H
+#define SCG_EMBEDDING_STAREMBEDDINGS_H
+
+#include "embedding/PathTemplates.h"
+
+namespace scg {
+
+/// Builds the identity-map embedding of \p Star (a star graph on the same
+/// symbols) into \p Host. \p Star must outlive the returned embedding.
+Embedding embedStarInto(const SuperCayleyGraph &Star,
+                        const SuperCayleyGraph &Host);
+
+/// Congestion of the embedding restricted to the star links of dimension
+/// \p Dim only (Section 3's per-dimension claim). Exact, by routing all k!
+/// dimension-\p Dim links; requires k <= 9.
+uint64_t starDimensionCongestion(const SuperCayleyGraph &Host, unsigned Dim);
+
+/// Paper-claimed total congestion of the star embedding into \p Host.
+uint64_t paperStarCongestionBound(const SuperCayleyGraph &Host);
+
+/// Paper-claimed dilation (same as the SDC slowdown bound).
+unsigned paperStarDilationBound(const SuperCayleyGraph &Host);
+
+} // namespace scg
+
+#endif // SCG_EMBEDDING_STAREMBEDDINGS_H

@@ -1,0 +1,126 @@
+//===- embedding/TnEmbeddings.cpp - Theorems 6-7 TN embeddings -----------===//
+
+#include "embedding/TnEmbeddings.h"
+
+#include "emulation/DimensionMap.h"
+#include "emulation/SdcEmulation.h"
+
+#include <cassert>
+
+using namespace scg;
+
+/// Appends the super word that hands front-box duty from box \p From to
+/// box \p To during the case-6 sequence. On swap-based hosts this is
+/// always S_{SwapSlot} (box a is parked at box b's home slot between the
+/// two shuttles, so both legs swap against slot b). On rotation-based
+/// hosts the shuttle is the relative rotation R^{From-To}.
+static void appendBoxShuttle(const SuperCayleyGraph &Host, unsigned From,
+                             unsigned To, unsigned SwapSlot,
+                             GeneratorPath &Path) {
+  unsigned K = Host.numSymbols();
+  unsigned N = Host.ballsPerBox();
+  unsigned L = Host.numBoxes();
+  switch (Host.kind()) {
+  case NetworkKind::MacroStar:
+  case NetworkKind::MacroIS:
+    Path.append(*Host.generators().findLink(makeSwap(K, N, SwapSlot)));
+    return;
+  case NetworkKind::CompleteRotationStar:
+  case NetworkKind::CompleteRotationIS:
+    Path.append(*Host.generators().findLink(
+        makeRotation(K, N, int(From) - int(To))));
+    return;
+  case NetworkKind::RotationStar:
+  case NetworkKind::RotationIS: {
+    int Shift = ((int(From) - int(To)) % int(L) + int(L)) % int(L);
+    unsigned Forward = unsigned(Shift);
+    unsigned Backward = L - Forward;
+    bool UseForward = Forward <= Backward;
+    unsigned Count = UseForward ? Forward : Backward;
+    GenIndex Link = *Host.generators().findLink(
+        makeRotation(K, N, UseForward ? 1 : -1));
+    for (unsigned S = 0; S != Count; ++S)
+      Path.append(Link);
+    return;
+  }
+  default:
+    assert(false && "host has no boxes to shuttle");
+  }
+}
+
+GeneratorPath scg::tnPairPath(const SuperCayleyGraph &Host, unsigned I,
+                              unsigned J) {
+  assert(supportsStarEmulation(Host) && "unsupported host kind");
+  assert(I >= 1 && I < J && J <= Host.numSymbols() && "bad pair (i, j)");
+  unsigned N = Host.ballsPerBox();
+  GeneratorPath Path;
+
+  if (I == 1) {
+    // Cases 1 and 2: T_{1,j} is star dimension j.
+    Path = starDimensionPath(Host, J);
+  } else {
+    DimensionParts Pi = decomposeDimension(I, N);
+    DimensionParts Pj = decomposeDimension(J, N);
+    if (Pi.J1 == 0 && Pj.J1 == 0) {
+      // Case 3: both in the leftmost box (conjugation T_i T_j T_i).
+      appendNucleusWord(Host, I, Path);
+      appendNucleusWord(Host, J, Path);
+      appendNucleusWord(Host, I, Path);
+    } else if (Pi.J1 == 0) {
+      // Case 4: i in the leftmost box, j elsewhere.
+      appendNucleusWord(Host, I, Path);
+      appendBringBoxWord(Host, Pj.J1 + 1, /*Inverse=*/false, Path);
+      appendNucleusWord(Host, Pj.J0 + 2, Path);
+      appendBringBoxWord(Host, Pj.J1 + 1, /*Inverse=*/true, Path);
+      appendNucleusWord(Host, I, Path);
+    } else if (Pi.J1 == Pj.J1) {
+      // Case 5: both in the same non-leftmost box.
+      appendBringBoxWord(Host, Pi.J1 + 1, /*Inverse=*/false, Path);
+      appendNucleusWord(Host, Pi.J0 + 2, Path);
+      appendNucleusWord(Host, Pj.J0 + 2, Path);
+      appendNucleusWord(Host, Pi.J0 + 2, Path);
+      appendBringBoxWord(Host, Pi.J1 + 1, /*Inverse=*/true, Path);
+    } else {
+      // Case 6: distinct non-leftmost boxes a and b. On swap-based hosts
+      // the paper's B_{j1+1} literally works mid-sequence (box b is still
+      // at its home slot while box a is out front). On rotation-based
+      // hosts every rotation shifts all boxes, so the middle moves must be
+      // the *relative* rotations R^{a-b} and R^{b-a}.
+      unsigned A = Pi.J1 + 1, B = Pj.J1 + 1;
+      appendBringBoxWord(Host, A, /*Inverse=*/false, Path);
+      appendNucleusWord(Host, Pi.J0 + 2, Path);
+      appendBoxShuttle(Host, A, B, B, Path);
+      appendNucleusWord(Host, Pj.J0 + 2, Path);
+      appendBoxShuttle(Host, B, A, B, Path);
+      appendNucleusWord(Host, Pi.J0 + 2, Path);
+      appendBringBoxWord(Host, A, /*Inverse=*/true, Path);
+    }
+  }
+
+  assert(Path.netEffect(Host) ==
+             makePairTransposition(Host.numSymbols(), I, J).Sigma &&
+         "TN template does not realize T_{i,j}");
+  return Path;
+}
+
+unsigned scg::paperTnDilationBound(const SuperCayleyGraph &Host) {
+  switch (Host.kind()) {
+  case NetworkKind::Star:
+    return 3;
+  case NetworkKind::Transposition:
+    return 1;
+  case NetworkKind::InsertionSelection:
+    return 6; // Theorem 7.
+  case NetworkKind::MacroStar:
+  case NetworkKind::CompleteRotationStar:
+    return Host.numBoxes() == 2 ? 5 : 7; // Theorem 6.
+  case NetworkKind::MacroIS:
+  case NetworkKind::CompleteRotationIS:
+    // Theorem 7 states O(1); case 6 with every nucleus expanded is the
+    // worst case of this construction: 4 box moves + 3 two-hop nuclei.
+    return 10;
+  default:
+    assert(false && "the paper states no TN dilation for this kind");
+    return 0;
+  }
+}

@@ -1,0 +1,46 @@
+//===- embedding/TnEmbeddings.h - Theorems 6-7 TN embeddings ---*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Embeddings of the k-dimensional transposition network into super Cayley
+/// graphs (Theorems 6 and 7): each TN generator T_{i,j} is realized by a
+/// host word from the six-case table of Theorem 6,
+///
+///   T_j                                               i = 1, j1 = 0
+///   B_{j1+1} T_{j0+2} B_{j1+1}^-1                     i = 1, j1 > 0
+///   T_i T_j T_i                                       i1 = j1 = 0
+///   T_i B_{j1+1} T_{j0+2} B_{j1+1}^-1 T_i             i1 = 0, j1 > 0
+///   B_{i1+1} T_{i0+2} T_{j0+2} T_{i0+2} B_{i1+1}^-1   i1 = j1 > 0
+///   B_{i1+1} T_{i0+2} B_{j1+1} T_{j0+2} B_{j1+1}^-1
+///       T_{i0+2} B_{i1+1}^-1                          0 < i1 != j1 > 0
+///
+/// with every T expanded into I I^-1 on insertion-selection nuclei
+/// (Theorem 7). Dilation: 5 for l = 2, 7 for l >= 3 (MS/complete-RS), 6
+/// for IS, O(1) (= 10 with this construction) for MIS/complete-RIS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMBEDDING_TNEMBEDDINGS_H
+#define SCG_EMBEDDING_TNEMBEDDINGS_H
+
+#include "routing/Path.h"
+
+namespace scg {
+
+/// Host word realizing the pair transposition T_{i,j} (1 <= i < j <= k) in
+/// \p Host (asserts supportsStarEmulation(Host)); its net effect is
+/// asserted to equal the T_{i,j} action.
+GeneratorPath tnPairPath(const SuperCayleyGraph &Host, unsigned I,
+                         unsigned J);
+
+/// The dilation the paper claims for embedding the k-TN into \p Host:
+/// 3 into the star, 6 into IS, 5 into MS/complete-RS with l = 2, 7 with
+/// l >= 3, and 10 (the constant behind "O(1)") into MIS/complete-RIS.
+unsigned paperTnDilationBound(const SuperCayleyGraph &Host);
+
+} // namespace scg
+
+#endif // SCG_EMBEDDING_TNEMBEDDINGS_H

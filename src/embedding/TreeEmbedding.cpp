@@ -1,0 +1,137 @@
+//===- embedding/TreeEmbedding.cpp - Corollary 4 tree embedder -----------===//
+
+#include "embedding/TreeEmbedding.h"
+
+#include "routing/StarRouter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace scg;
+
+namespace {
+
+/// Collects the distinct host nodes within \p Radius hops of \p Center
+/// (excluding \p Center itself), in increasing-distance order.
+std::vector<NodeId> ballAround(const ExplicitScg &Host, NodeId Center,
+                               unsigned Radius) {
+  std::vector<NodeId> Ball;
+  std::vector<NodeId> Frontier{Center};
+  // Small radii over a bounded-degree graph: a flat visited list is fine.
+  std::vector<NodeId> Visited{Center};
+  auto Seen = [&Visited](NodeId N) {
+    return std::find(Visited.begin(), Visited.end(), N) != Visited.end();
+  };
+  for (unsigned Depth = 0; Depth != Radius; ++Depth) {
+    std::vector<NodeId> Next;
+    for (NodeId U : Frontier)
+      for (GenIndex G = 0; G != Host.degree(); ++G) {
+        NodeId V = Host.next(U, G);
+        if (Seen(V))
+          continue;
+        Visited.push_back(V);
+        Ball.push_back(V);
+        Next.push_back(V);
+      }
+    Frontier = std::move(Next);
+  }
+  return Ball;
+}
+
+/// Depth-first placement of tree nodes (heap ids) onto host nodes.
+class TreeSearch {
+public:
+  TreeSearch(const ExplicitScg &Host, unsigned NumGuestNodes,
+             unsigned MaxDilation, uint64_t StepBudget)
+      : Host(Host), MaxDilation(MaxDilation), StepBudget(StepBudget),
+        Assignment(NumGuestNodes, 0), Used(Host.numNodes(), false) {
+    // DFS pre-order over heap ids keeps each new node adjacent to an
+    // already-placed one, so conflicts surface immediately.
+    Order.reserve(NumGuestNodes);
+    buildOrder(0, NumGuestNodes);
+  }
+
+  bool run() {
+    Assignment[0] = 0; // root at the identity (vertex symmetry).
+    Used[0] = true;
+    return place(1);
+  }
+
+  const std::vector<NodeId> &assignment() const { return Assignment; }
+  uint64_t stepsUsed() const { return Steps; }
+
+private:
+  void buildOrder(unsigned V, unsigned Count) {
+    if (V >= Count)
+      return;
+    Order.push_back(V);
+    buildOrder(2 * V + 1, Count);
+    buildOrder(2 * V + 2, Count);
+  }
+
+  bool place(unsigned OrderIdx) {
+    if (OrderIdx == Order.size())
+      return true;
+    if (Steps >= StepBudget)
+      return false;
+    unsigned V = Order[OrderIdx];
+    NodeId ParentHost = Assignment[(V - 1) / 2];
+    for (NodeId Candidate : ballAround(Host, ParentHost, MaxDilation)) {
+      if (Used[Candidate])
+        continue;
+      ++Steps;
+      Assignment[V] = Candidate;
+      Used[Candidate] = true;
+      if (place(OrderIdx + 1))
+        return true;
+      Used[Candidate] = false;
+      if (Steps >= StepBudget)
+        return false;
+    }
+    return false;
+  }
+
+  const ExplicitScg &Host;
+  unsigned MaxDilation;
+  uint64_t StepBudget;
+  std::vector<unsigned> Order;
+  std::vector<NodeId> Assignment;
+  std::vector<bool> Used;
+  uint64_t Steps = 0;
+};
+
+} // namespace
+
+TreeEmbeddingResult scg::embedTreeIntoStar(const ExplicitScg &Star,
+                                           unsigned Height,
+                                           unsigned MaxDilation,
+                                           uint64_t StepBudget) {
+  assert(Star.network().kind() == NetworkKind::Star &&
+         "host must be a star graph");
+  unsigned NumGuestNodes = (1u << (Height + 1)) - 1;
+  TreeEmbeddingResult Result;
+  if (NumGuestNodes > Star.numNodes())
+    return Result; // Cannot be one-to-one.
+
+  TreeSearch Search(Star, NumGuestNodes, MaxDilation, StepBudget);
+  bool Found = Search.run();
+  Result.StepsUsed = Search.stepsUsed();
+  if (!Found)
+    return Result;
+
+  Result.Found = true;
+  Result.E.Host = &Star.network();
+  Result.E.NodeMap.reserve(NumGuestNodes);
+  for (NodeId Host : Search.assignment())
+    Result.E.NodeMap.push_back(Star.label(Host));
+
+  const SuperCayleyGraph *Net = &Star.network();
+  std::vector<Permutation> Map = Result.E.NodeMap;
+  Result.E.Route = [Net, Map = std::move(Map)](NodeId U, NodeId V) {
+    GeneratorPath Path;
+    for (unsigned Dim : starRouteDimensions(Map[U], Map[V]))
+      Path.append(Dim - 2); // star generators are T_2..T_k in order.
+    return Path;
+  };
+  return Result;
+}

@@ -1,0 +1,48 @@
+//===- embedding/TreeEmbedding.h - Corollary 4 tree embedder ---*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Complete-binary-tree -> star embeddings behind Corollary 4. The paper
+/// cites the height-(2k-5) dilation-1 construction of [5]; as documented in
+/// DESIGN.md (substitution 2), this library searches for the embedding
+/// instead: a budgeted backtracking embedder places the tree depth-first,
+/// each node within the dilation budget of its parent's image, over the
+/// explicit star graph. Corollary 4's content -- the composed dilations
+/// 2/3/4 on IS / MS / MIS hosts -- is then verified exactly by composing
+/// whatever base dilation the search achieves with the star -> SCG
+/// templates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMBEDDING_TREEEMBEDDING_H
+#define SCG_EMBEDDING_TREEEMBEDDING_H
+
+#include "embedding/Embedding.h"
+#include "networks/Explicit.h"
+
+#include <optional>
+
+namespace scg {
+
+/// Result of a tree-embedding search.
+struct TreeEmbeddingResult {
+  Embedding E;           ///< valid only when Found.
+  bool Found = false;
+  uint64_t StepsUsed = 0; ///< backtracking steps consumed.
+};
+
+/// Searches for an embedding of the complete binary tree of height
+/// \p Height into \p Star (explicit form) in which every tree edge maps to
+/// a host path of length <= \p MaxDilation. Gives up after \p StepBudget
+/// backtracking steps. The returned embedding's guest node ids follow the
+/// heap order of completeBinaryTree().
+TreeEmbeddingResult embedTreeIntoStar(const ExplicitScg &Star,
+                                      unsigned Height, unsigned MaxDilation,
+                                      uint64_t StepBudget = 2'000'000);
+
+} // namespace scg
+
+#endif // SCG_EMBEDDING_TREEEMBEDDING_H

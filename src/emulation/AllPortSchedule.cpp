@@ -1,0 +1,284 @@
+//===- emulation/AllPortSchedule.cpp - Theorems 4-5 schedules ------------===//
+
+#include "emulation/AllPortSchedule.h"
+
+#include "emulation/DimensionMap.h"
+#include "emulation/SdcEmulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace scg;
+
+namespace {
+
+/// True for the four box-structured classes Theorems 4-5 schedule
+/// constructively.
+bool isBoxScheduled(NetworkKind Kind) {
+  switch (Kind) {
+  case NetworkKind::MacroStar:
+  case NetworkKind::CompleteRotationStar:
+  case NetworkKind::MacroIS:
+  case NetworkKind::CompleteRotationIS:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Emits all per-dimension paths as unscheduled hop lists.
+std::vector<DimensionSchedule> makeJobs(const SuperCayleyGraph &Net) {
+  std::vector<DimensionSchedule> Jobs;
+  for (unsigned J = 2; J <= Net.numSymbols(); ++J) {
+    DimensionSchedule DS;
+    DS.Dim = J;
+    GeneratorPath Path = starDimensionPath(Net, J);
+    for (GenIndex G : Path.hops())
+      DS.Hops.push_back({0, G});
+    Jobs.push_back(std::move(DS));
+  }
+  return Jobs;
+}
+
+} // namespace
+
+AllPortSchedule scg::buildAllPortSchedule(const SuperCayleyGraph &Net) {
+  assert(supportsStarEmulation(Net) && "network cannot emulate a star");
+  AllPortSchedule Schedule;
+  Schedule.Dimensions = makeJobs(Net);
+
+  if (!isBoxScheduled(Net.kind())) {
+    assert((Net.kind() == NetworkKind::Star ||
+            Net.kind() == NetworkKind::Transposition ||
+            Net.kind() == NetworkKind::InsertionSelection) &&
+           "use buildAllPortScheduleGreedy for RS/RIS networks");
+    // Single-level networks: hop h of every dimension at time h+1. The hop
+    // links are pairwise distinct per position (I_j at step 1, I'_{j-1} at
+    // step 2), so no conflicts arise.
+    for (DimensionSchedule &DS : Schedule.Dimensions)
+      for (unsigned H = 0; H != DS.Hops.size(); ++H) {
+        DS.Hops[H].Time = H + 1;
+        Schedule.Makespan = std::max(Schedule.Makespan, H + 1);
+      }
+    return Schedule;
+  }
+
+  unsigned N = Net.ballsPerBox();
+  unsigned L = Net.numBoxes();
+  // Latin-rectangle coloring of the nucleus phase: box row r = box - 2,
+  // column c = j0. color(r, c) = (r + c) mod max(l-1, n) gives every box a
+  // set of distinct nucleus times and every nucleus link distinct users per
+  // time (generalizing the explicit schedules of Figure 1).
+  unsigned Mp = std::max(L - 1, N);
+
+  // Per box: (job index, first middle time) for B/B^-1 assignment.
+  std::vector<std::vector<std::pair<unsigned, unsigned>>> BoxJobs(L + 1);
+
+  for (unsigned Idx = 0; Idx != Schedule.Dimensions.size(); ++Idx) {
+    DimensionSchedule &DS = Schedule.Dimensions[Idx];
+    DimensionParts Parts = decomposeDimension(DS.Dim, N);
+    if (Parts.J1 == 0) {
+      // Direct dimension: nucleus hops at times 1, 2 (free by construction:
+      // box jobs touch nucleus links only at times >= 2 resp. >= 3).
+      for (unsigned H = 0; H != DS.Hops.size(); ++H)
+        DS.Hops[H].Time = H + 1;
+      continue;
+    }
+    unsigned Box = Parts.J1 + 1;
+    unsigned Row = Box - 2;
+    unsigned Tau = (Row + Parts.J0) % Mp + 2;
+    // Middle (nucleus) hops at Tau, Tau+1; first and last hops are B/B^-1.
+    assert(DS.Hops.size() >= 3 && DS.Hops.size() <= 4 &&
+           "box dimension paths have 3 or 4 hops");
+    for (unsigned H = 1; H + 1 != DS.Hops.size(); ++H)
+      DS.Hops[H].Time = Tau + (H - 1);
+    BoxJobs[Box].push_back({Idx, Tau});
+  }
+
+  // B hops: per box, jobs sorted by nucleus time get bring-times 1..n
+  // (valid: the i-th smallest Tau is >= i+1). B^-1 hops: greedy earliest
+  // slot >= max(last middle + 1, n + 1); >= n+1 keeps them disjoint from
+  // every box's B-phase, which shares the link for MS (S_i is its own
+  // inverse) and for complete-RS (R^m carries box m+1's returns and box
+  // l-m+1's brings).
+  for (unsigned Box = 2; Box <= L; ++Box) {
+    auto &Jobs = BoxJobs[Box];
+    assert(Jobs.size() == N && "every box hosts exactly n dimensions");
+    std::sort(Jobs.begin(), Jobs.end(),
+              [](const auto &A, const auto &B) { return A.second < B.second; });
+    unsigned PrevReturn = N; // next return slot must exceed this.
+    for (unsigned I = 0; I != Jobs.size(); ++I) {
+      DimensionSchedule &DS = Schedule.Dimensions[Jobs[I].first];
+      DS.Hops.front().Time = I + 1;
+      unsigned LastMiddle = DS.Hops[DS.Hops.size() - 2].Time;
+      unsigned Return = std::max(LastMiddle + 1, PrevReturn + 1);
+      DS.Hops.back().Time = Return;
+      PrevReturn = Return;
+    }
+  }
+
+  for (const DimensionSchedule &DS : Schedule.Dimensions)
+    for (const ScheduledHop &Hop : DS.Hops)
+      Schedule.Makespan = std::max(Schedule.Makespan, Hop.Time);
+  return Schedule;
+}
+
+AllPortSchedule
+scg::buildAllPortScheduleGreedy(const SuperCayleyGraph &Net) {
+  assert(supportsStarEmulation(Net) && "network cannot emulate a star");
+  AllPortSchedule Schedule;
+  Schedule.Dimensions = makeJobs(Net);
+
+  struct JobState {
+    unsigned Next = 0;  ///< next unscheduled hop.
+    unsigned Ready = 1; ///< earliest time for that hop.
+  };
+  std::vector<JobState> State(Schedule.Dimensions.size());
+  // Remaining demand per link, for the scarcity tie-break.
+  std::vector<unsigned> Demand(Net.degree(), 0);
+  unsigned Pending = 0;
+  for (const DimensionSchedule &DS : Schedule.Dimensions) {
+    Pending += DS.Hops.size();
+    for (const ScheduledHop &Hop : DS.Hops)
+      ++Demand[Hop.Link];
+  }
+
+  for (unsigned T = 1; Pending != 0; ++T) {
+    assert(T < 10000 && "greedy schedule failed to converge");
+    for (GenIndex Link = 0; Link != Net.degree(); ++Link) {
+      // Choose the ready job with the most remaining hops; break ties by
+      // rotating over dimensions with the time step so parallel boxes
+      // stagger their nucleus columns.
+      int Best = -1;
+      unsigned BestKey = 0;
+      for (unsigned J = 0; J != State.size(); ++J) {
+        const DimensionSchedule &DS = Schedule.Dimensions[J];
+        const JobState &JS = State[J];
+        if (JS.Next >= DS.Hops.size() || DS.Hops[JS.Next].Link != Link ||
+            JS.Ready > T)
+          continue;
+        unsigned Remaining = DS.Hops.size() - JS.Next;
+        unsigned Rotated = (DS.Dim + T) % Schedule.Dimensions.size();
+        unsigned Key = Remaining * 1024 + Rotated;
+        if (Best < 0 || Key > BestKey) {
+          Best = static_cast<int>(J);
+          BestKey = Key;
+        }
+      }
+      if (Best < 0)
+        continue;
+      DimensionSchedule &DS = Schedule.Dimensions[Best];
+      JobState &JS = State[Best];
+      DS.Hops[JS.Next].Time = T;
+      --Demand[Link];
+      ++JS.Next;
+      JS.Ready = T + 1;
+      --Pending;
+      Schedule.Makespan = std::max(Schedule.Makespan, T);
+    }
+  }
+  return Schedule;
+}
+
+bool scg::validateAllPortSchedule(const SuperCayleyGraph &Net,
+                                  const AllPortSchedule &Schedule) {
+  if (Schedule.Dimensions.size() != Net.numSymbols() - 1)
+    return false;
+  std::set<std::pair<unsigned, GenIndex>> Used;
+  for (const DimensionSchedule &DS : Schedule.Dimensions) {
+    if (DS.Dim < 2 || DS.Dim > Net.numSymbols())
+      return false;
+    // Hop links must equal the emulation path for this dimension.
+    GeneratorPath Expected = starDimensionPath(Net, DS.Dim);
+    if (Expected.length() != DS.Hops.size())
+      return false;
+    unsigned PrevTime = 0;
+    for (unsigned H = 0; H != DS.Hops.size(); ++H) {
+      const ScheduledHop &Hop = DS.Hops[H];
+      if (Hop.Link != Expected.hops()[H])
+        return false;
+      if (Hop.Time <= PrevTime || Hop.Time > Schedule.Makespan)
+        return false;
+      PrevTime = Hop.Time;
+      if (!Used.insert({Hop.Time, Hop.Link}).second)
+        return false; // Link used twice in one step.
+    }
+  }
+  return true;
+}
+
+unsigned scg::paperAllPortSlowdownBound(const SuperCayleyGraph &Net) {
+  unsigned N = Net.ballsPerBox();
+  unsigned L = Net.numBoxes();
+  switch (Net.kind()) {
+  case NetworkKind::Star:
+  case NetworkKind::Transposition:
+    return 1;
+  case NetworkKind::InsertionSelection:
+    return 2; // Theorem 2.
+  case NetworkKind::MacroStar:
+  case NetworkKind::CompleteRotationStar:
+    return std::max(2 * N, L + 1); // Theorem 4.
+  case NetworkKind::MacroIS:
+  case NetworkKind::CompleteRotationIS:
+    return std::max(2 * N, L + 2); // Theorem 5.
+  default:
+    assert(false && "the paper states no all-port bound for this kind");
+    return 0;
+  }
+}
+
+unsigned scg::allPortLowerBound(const SuperCayleyGraph &Net) {
+  // For each link, bucket ops by (predecessors, successors) in their chain;
+  // ops with >= p preds and >= s succs must fit into [1+p, M-s], giving
+  // M >= count(p, s) + p + s.
+  std::map<GenIndex, std::vector<std::pair<unsigned, unsigned>>> Ops;
+  unsigned MaxLen = 0;
+  for (unsigned J = 2; J <= Net.numSymbols(); ++J) {
+    GeneratorPath Path = starDimensionPath(Net, J);
+    MaxLen = std::max(MaxLen, Path.length());
+    for (unsigned H = 0; H != Path.length(); ++H)
+      Ops[Path.hops()[H]].push_back({H, Path.length() - 1 - H});
+  }
+  unsigned Bound = MaxLen;
+  for (auto &[Link, List] : Ops) {
+    // Evaluate every (p, s) threshold combination present on this link
+    // (not only the pairs attached to a single op): ops with >= p preds
+    // and >= s succs all occupy [1+p, M-s].
+    std::set<unsigned> Ps{0}, Ss{0};
+    for (const auto &[P, S] : List) {
+      Ps.insert(P);
+      Ss.insert(S);
+    }
+    for (unsigned P : Ps)
+      for (unsigned S : Ss) {
+        unsigned Count = 0;
+        for (const auto &[P2, S2] : List)
+          if (P2 >= P && S2 >= S)
+            ++Count;
+        if (Count)
+          Bound = std::max(Bound, Count + P + S);
+      }
+  }
+  return Bound;
+}
+
+ScheduleStats scg::computeScheduleStats(const SuperCayleyGraph &Net,
+                                        const AllPortSchedule &Schedule) {
+  ScheduleStats Stats;
+  std::vector<unsigned> PerStep(Schedule.Makespan + 1, 0);
+  for (const DimensionSchedule &DS : Schedule.Dimensions)
+    for (const ScheduledHop &Hop : DS.Hops) {
+      ++Stats.Transmissions;
+      ++PerStep[Hop.Time];
+    }
+  Stats.Slots = uint64_t(Net.degree()) * Schedule.Makespan;
+  Stats.AverageUtilization =
+      Stats.Slots ? double(Stats.Transmissions) / double(Stats.Slots) : 0.0;
+  for (unsigned T = 1; T <= Schedule.Makespan; ++T)
+    if (PerStep[T] == Net.degree())
+      ++Stats.FullyUsedSteps;
+  return Stats;
+}

@@ -1,0 +1,90 @@
+//===- emulation/AllPortSchedule.h - Theorems 4-5 schedules ----*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All-port emulation of the (ln+1)-star on super Cayley graphs: every node
+/// emulates all k-1 star dimensions concurrently, so the per-dimension SDC
+/// paths must be packed into time steps such that each link (generator) is
+/// used at most once per step -- by vertex symmetry the same schedule is
+/// executed relative to every node. The makespan is the emulation slowdown:
+///
+///   Theorem 4:  MS(l,n), complete-RS(l,n):   max(2n, l+1)
+///   Theorem 5:  MIS(l,n), complete-RIS(l,n): max(2n, l+2)
+///
+/// Two schedule builders are provided: a constructive one that meets the
+/// paper's bounds by Latin-square coloring of the nucleus phase (the
+/// generalization of the explicit schedules in Figure 1), and a greedy
+/// list scheduler usable on any emulation-capable network (including the
+/// non-complete rotation classes, for which the paper claims no bound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMULATION_ALLPORTSCHEDULE_H
+#define SCG_EMULATION_ALLPORTSCHEDULE_H
+
+#include "routing/Path.h"
+
+namespace scg {
+
+/// One link transmission of one dimension's emulation path.
+struct ScheduledHop {
+  unsigned Time;   ///< 1-based time step.
+  GenIndex Link;   ///< link (generator) used.
+};
+
+/// The scheduled emulation of one star dimension: hops in path order with
+/// strictly increasing times.
+struct DimensionSchedule {
+  unsigned Dim = 0; ///< star dimension j, 2 <= j <= k.
+  std::vector<ScheduledHop> Hops;
+};
+
+/// A complete all-port emulation schedule.
+struct AllPortSchedule {
+  unsigned Makespan = 0;
+  std::vector<DimensionSchedule> Dimensions; ///< dims 2..k in order.
+};
+
+/// Builds the constructive schedule meeting the paper's bound. Supported
+/// kinds: Star, Transposition, InsertionSelection, MacroStar,
+/// CompleteRotationStar, MacroIS, CompleteRotationIS (asserts otherwise).
+AllPortSchedule buildAllPortSchedule(const SuperCayleyGraph &Net);
+
+/// Greedy list scheduler over the same job set; works for every network
+/// with supportsStarEmulation(), including RS and RIS.
+AllPortSchedule buildAllPortScheduleGreedy(const SuperCayleyGraph &Net);
+
+/// Checks schedule validity: every dimension's hop sequence equals its
+/// emulation path, times strictly increase along each path, and no link
+/// carries two transmissions in the same step. Returns false (and never
+/// asserts) so tests can report the violation.
+bool validateAllPortSchedule(const SuperCayleyGraph &Net,
+                             const AllPortSchedule &Schedule);
+
+/// The slowdown the paper claims: 1 for star/TN, 2 for IS, max(2n, l+1)
+/// for MS/complete-RS, max(2n, l+2) for MIS/complete-RIS. Asserts for
+/// other kinds.
+unsigned paperAllPortSlowdownBound(const SuperCayleyGraph &Net);
+
+/// Generic makespan lower bound from link demand and chain windows: for
+/// every link g and thresholds (p, s), the ops with >= p predecessors and
+/// >= s successors in their chains must fit into [1+p, M-s].
+unsigned allPortLowerBound(const SuperCayleyGraph &Net);
+
+/// Link-usage statistics of a schedule.
+struct ScheduleStats {
+  uint64_t Transmissions = 0;   ///< total scheduled hops.
+  uint64_t Slots = 0;           ///< degree * makespan.
+  double AverageUtilization = 0.0;
+  unsigned FullyUsedSteps = 0;  ///< steps where every link transmits.
+};
+
+ScheduleStats computeScheduleStats(const SuperCayleyGraph &Net,
+                                   const AllPortSchedule &Schedule);
+
+} // namespace scg
+
+#endif // SCG_EMULATION_ALLPORTSCHEDULE_H

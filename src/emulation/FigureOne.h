@@ -1,0 +1,36 @@
+//===- emulation/FigureOne.h - Renders the paper's Figure 1 ----*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ASCII rendering of all-port emulation schedules in the layout of the
+/// paper's Figure 1: one column per emulated star dimension, one row per
+/// time step, each cell naming the generator used. Figure 1a is
+/// renderFigureOne(MS(4,3)) (13-star), Figure 1b renderFigureOne(MS(5,3))
+/// (16-star); the complete-RS variants substitute rotation generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMULATION_FIGUREONE_H
+#define SCG_EMULATION_FIGUREONE_H
+
+#include "emulation/AllPortSchedule.h"
+
+#include <string>
+
+namespace scg {
+
+/// Renders \p Schedule in Figure 1 layout for \p Net.
+std::string renderSchedule(const SuperCayleyGraph &Net,
+                           const AllPortSchedule &Schedule);
+
+/// Builds the constructive schedule for \p Net and renders it together
+/// with the caption statistics (makespan, fully-used steps, average link
+/// utilization) the figure caption reports.
+std::string renderFigureOne(const SuperCayleyGraph &Net);
+
+} // namespace scg
+
+#endif // SCG_EMULATION_FIGUREONE_H

@@ -1,0 +1,32 @@
+//===- emulation/ScgRouter.cpp - Emulation-based unicast routing ---------===//
+
+#include "emulation/ScgRouter.h"
+
+#include "emulation/SdcEmulation.h"
+#include "routing/StarRouter.h"
+
+#include <cassert>
+
+using namespace scg;
+
+GeneratorPath scg::routeViaStarEmulation(const SuperCayleyGraph &Net,
+                                         const Permutation &Src,
+                                         const Permutation &Dst) {
+  assert(supportsStarEmulation(Net) && "unsupported network kind");
+  GeneratorPath Path;
+  for (unsigned Dim : starRouteDimensions(Src, Dst)) {
+    GeneratorPath Template = starDimensionPath(Net, Dim);
+    for (GenIndex G : Template.hops())
+      Path.append(G);
+  }
+  assert(Path.connects(Net, Src, Dst) && "lifted route is broken");
+  return Path;
+}
+
+unsigned scg::liftedRouteBound(const SuperCayleyGraph &Net) {
+  // Star diameter is floor(3(k-1)/2) [1]; each star hop expands to at most
+  // the SDC slowdown of the host.
+  unsigned K = Net.numSymbols();
+  unsigned StarDiameter = 3 * (K - 1) / 2;
+  return analyzeSdcEmulation(Net).Slowdown * StarDiameter;
+}

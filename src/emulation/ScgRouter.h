@@ -1,0 +1,37 @@
+//===- emulation/ScgRouter.h - Emulation-based unicast routing -*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unicast routing in super Cayley graphs by star-route lifting: compute an
+/// optimal route in the (ln+1)-star (StarRouter) and expand every star
+/// dimension through its emulation path (Theorems 1-3). This is the
+/// "routing = solving the ball-arrangement game" reading of Section 2: the
+/// resulting path length is at most slowdown * starDistance, within the
+/// per-network constant of optimal. For networks without a transposition
+/// template (the rotator classes) the exact BFS solver is the fallback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMULATION_SCGROUTER_H
+#define SCG_EMULATION_SCGROUTER_H
+
+#include "routing/Path.h"
+
+namespace scg {
+
+/// Routes \p Src -> \p Dst in \p Net by star-route lifting; requires
+/// supportsStarEmulation(Net).
+GeneratorPath routeViaStarEmulation(const SuperCayleyGraph &Net,
+                                    const Permutation &Src,
+                                    const Permutation &Dst);
+
+/// Upper bound on the length of routeViaStarEmulation paths:
+/// slowdown * starDiameter (for reporting against measured diameters).
+unsigned liftedRouteBound(const SuperCayleyGraph &Net);
+
+} // namespace scg
+
+#endif // SCG_EMULATION_SCGROUTER_H

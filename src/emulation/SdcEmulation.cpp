@@ -1,0 +1,167 @@
+//===- emulation/SdcEmulation.cpp - Theorems 1-3 emulation paths ---------===//
+
+#include "emulation/SdcEmulation.h"
+
+#include "emulation/DimensionMap.h"
+
+#include <cassert>
+
+using namespace scg;
+
+bool scg::supportsStarEmulation(const SuperCayleyGraph &Net) {
+  switch (Net.kind()) {
+  case NetworkKind::Star:
+  case NetworkKind::Transposition:
+  case NetworkKind::InsertionSelection:
+  case NetworkKind::MacroStar:
+  case NetworkKind::RotationStar:
+  case NetworkKind::CompleteRotationStar:
+  case NetworkKind::MacroIS:
+  case NetworkKind::RotationIS:
+  case NetworkKind::CompleteRotationIS:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Finds the link matching \p G in \p Net (asserting it is present).
+static GenIndex requireAction(const SuperCayleyGraph &Net,
+                              const Generator &G) {
+  std::optional<GenIndex> Index = Net.generators().findLink(G);
+  assert(Index && "required generator is not a link of this network");
+  return *Index;
+}
+
+/// Appends the nucleus word realizing T_{nucleus dimension \p C} within the
+/// leftmost box: T_C itself for transposition nuclei, I_C I_{C-1}^-1 for
+/// insertion-selection nuclei (Theorem 2: the selection is dropped for
+/// C = 2 where I_2 alone is the transposition).
+void scg::appendNucleusWord(const SuperCayleyGraph &Net, unsigned C,
+                            GeneratorPath &Path) {
+  unsigned K = Net.numSymbols();
+  switch (Net.kind()) {
+  case NetworkKind::Star:
+  case NetworkKind::MacroStar:
+  case NetworkKind::RotationStar:
+  case NetworkKind::CompleteRotationStar:
+    Path.append(requireAction(Net, makeTransposition(K, C)));
+    return;
+  case NetworkKind::Transposition:
+    Path.append(requireAction(Net, makePairTransposition(K, 1, C)));
+    return;
+  case NetworkKind::InsertionSelection:
+  case NetworkKind::MacroIS:
+  case NetworkKind::RotationIS:
+  case NetworkKind::CompleteRotationIS:
+    Path.append(requireAction(Net, makeInsertion(K, C)));
+    if (C > 2)
+      Path.append(requireAction(Net, makeSelection(K, C - 1)));
+    return;
+  default:
+    assert(false && "network cannot emulate a transposition nucleus");
+  }
+}
+
+/// Appends the super word bringing box \p Box (2..l) to the leftmost
+/// position (or back, for \p Inverse = true).
+void scg::appendBringBoxWord(const SuperCayleyGraph &Net, unsigned Box,
+                             bool Inverse, GeneratorPath &Path) {
+  unsigned K = Net.numSymbols();
+  unsigned N = Net.ballsPerBox();
+  unsigned L = Net.numBoxes();
+  switch (Net.kind()) {
+  case NetworkKind::MacroStar:
+  case NetworkKind::MacroIS:
+    // S_Box is an involution: the same link both ways.
+    Path.append(requireAction(Net, makeSwap(K, N, Box)));
+    return;
+  case NetworkKind::CompleteRotationStar:
+  case NetworkKind::CompleteRotationIS: {
+    int Exp = Inverse ? int(Box - 1) : -int(Box - 1);
+    Path.append(requireAction(Net, makeRotation(K, N, Exp)));
+    return;
+  }
+  case NetworkKind::RotationStar:
+  case NetworkKind::RotationIS: {
+    // Only R and R^-1 are links: expand R^{-(Box-1)} (or its inverse) into
+    // single steps, rotating in the cheaper direction. When L = 2, R^-1
+    // deduplicates against R, so requireAction finds the same link.
+    unsigned Shift = Box - 1;       // bring = rotate boxes by -Shift...
+    unsigned Forward = L - Shift;   // ...equivalently by +Forward.
+    bool Backward = Shift <= Forward;
+    unsigned Count = Backward ? Shift : Forward;
+    int StepExp = Backward ? -1 : 1;
+    if (Inverse)
+      StepExp = -StepExp;
+    GenIndex Link = requireAction(Net, makeRotation(K, N, StepExp));
+    for (unsigned I = 0; I != Count; ++I)
+      Path.append(Link);
+    return;
+  }
+  default:
+    assert(false && "network has no boxes to bring frontward");
+  }
+}
+
+GeneratorPath scg::starDimensionPath(const SuperCayleyGraph &Net,
+                                     unsigned J) {
+  assert(supportsStarEmulation(Net) && "unsupported network kind");
+  assert(J >= 2 && J <= Net.numSymbols() && "star dimension out of range");
+  GeneratorPath Path;
+  unsigned N = Net.ballsPerBox();
+  DimensionParts Parts = decomposeDimension(J, N);
+  if (Parts.J1 == 0) {
+    // Dimension within the leftmost box: nucleus moves only.
+    appendNucleusWord(Net, Parts.J0 + 2, Path);
+  } else {
+    unsigned Box = Parts.J1 + 1;
+    appendBringBoxWord(Net, Box, /*Inverse=*/false, Path);
+    appendNucleusWord(Net, Parts.J0 + 2, Path);
+    appendBringBoxWord(Net, Box, /*Inverse=*/true, Path);
+  }
+  assert(Path.netEffect(Net) ==
+             makeTransposition(Net.numSymbols(), J).Sigma &&
+         "emulation path does not realize T_j");
+  return Path;
+}
+
+SdcEmulationReport scg::analyzeSdcEmulation(const SuperCayleyGraph &Net) {
+  SdcEmulationReport Report;
+  unsigned K = Net.numSymbols();
+  uint64_t TotalLength = 0;
+  for (unsigned J = 2; J <= K; ++J) {
+    GeneratorPath Path = starDimensionPath(Net, J);
+    Report.Slowdown = std::max(Report.Slowdown, Path.length());
+    if (Path.length() == 1)
+      ++Report.DirectDimensions;
+    TotalLength += Path.length();
+  }
+  Report.AveragePathLength = double(TotalLength) / double(K - 1);
+  return Report;
+}
+
+unsigned scg::paperSdcSlowdownBound(const SuperCayleyGraph &Net) {
+  switch (Net.kind()) {
+  case NetworkKind::Star:
+    return 1;
+  case NetworkKind::InsertionSelection:
+    return 2; // Theorem 2.
+  case NetworkKind::MacroStar:
+  case NetworkKind::CompleteRotationStar:
+    return 3; // Theorem 1.
+  case NetworkKind::MacroIS:
+  case NetworkKind::CompleteRotationIS:
+    return 4; // Theorem 3.
+  default:
+    assert(false && "the paper states no SDC slowdown bound for this kind");
+    return 0;
+  }
+}
+
+std::optional<GenIndex> scg::linkBetween(const SuperCayleyGraph &Net,
+                                         const Permutation &A,
+                                         const Permutation &B) {
+  // A o Sigma = B  =>  Sigma = A^-1 o B.
+  return Net.generators().findByAction(A.inverse().compose(B));
+}

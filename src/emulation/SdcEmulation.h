@@ -1,0 +1,77 @@
+//===- emulation/SdcEmulation.h - Theorems 1-3 emulation paths -*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-dimension-communication (SDC) emulation of the (ln+1)-star on
+/// super Cayley graphs: for every star dimension j, a fixed generator word
+/// whose net effect equals T_j, so every node can emulate its dimension-j
+/// link by the same relative path (Theorems 1-3):
+///
+///   MS(l,n)/complete-RS(l,n):  B_{j1+1}  T_{j0+2}  B_{j1+1}^-1   (<= 3)
+///   IS(k):                     I_j  I_{j-1}^-1                   (<= 2)
+///   MIS/complete-RIS(l,n):     B  I_{j0+2}  I_{j0+1}^-1  B^-1    (<= 4)
+///
+/// where B_i = S_i for swap-based networks and R^{-(i-1)} for
+/// complete-rotation networks. For the non-complete rotation networks (RS,
+/// RIS) the rotation is expanded into min(j1, l-j1) single-rotation hops,
+/// which is what makes their diameter/slowdown grow with l -- reported, not
+/// claimed constant, by the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_EMULATION_SDCEMULATION_H
+#define SCG_EMULATION_SDCEMULATION_H
+
+#include "routing/Path.h"
+
+namespace scg {
+
+/// True if \p Net can emulate star dimensions by a fixed path template
+/// (star itself, TN, and all T- or IS-nucleus super Cayley graphs; the
+/// insertion-only rotator classes cannot invert a transposition with a
+/// bounded template).
+bool supportsStarEmulation(const SuperCayleyGraph &Net);
+
+/// Returns the emulation path for star dimension \p J (2 <= J <= k) in
+/// \p Net. The net effect of the returned word equals the action of T_J.
+/// Asserts supportsStarEmulation(Net).
+GeneratorPath starDimensionPath(const SuperCayleyGraph &Net, unsigned J);
+
+/// Appends to \p Path the nucleus word realizing the transposition T_C
+/// inside the leftmost box (2 <= C <= n+1 for box networks; up to k for
+/// single-level ones): T_C itself for transposition nuclei, I_C I_{C-1}^-1
+/// for insertion-selection nuclei.
+void appendNucleusWord(const SuperCayleyGraph &Net, unsigned C,
+                       GeneratorPath &Path);
+
+/// Appends to \p Path the super word bringing box \p Box (2 <= Box <= l) to
+/// the leftmost position, or returning it when \p Inverse.
+void appendBringBoxWord(const SuperCayleyGraph &Net, unsigned Box,
+                        bool Inverse, GeneratorPath &Path);
+
+/// Finds the link of \p Net whose one hop goes from \p A to \p B (their
+/// relative permutation is a generator action), if any.
+std::optional<GenIndex> linkBetween(const SuperCayleyGraph &Net,
+                                    const Permutation &A,
+                                    const Permutation &B);
+
+/// Per-network summary of the SDC emulation.
+struct SdcEmulationReport {
+  unsigned Slowdown = 0;        ///< max path length over dimensions.
+  unsigned DirectDimensions = 0; ///< dims emulated by a single link.
+  double AveragePathLength = 0.0;
+};
+
+/// Builds all dimension paths and summarizes (Theorems 1-3 numbers).
+SdcEmulationReport analyzeSdcEmulation(const SuperCayleyGraph &Net);
+
+/// The slowdown bound the paper claims for \p Net: 1 for star, 2 for IS,
+/// 3 for MS/complete-RS, 4 for MIS/complete-RIS; asserts for other kinds.
+unsigned paperSdcSlowdownBound(const SuperCayleyGraph &Net);
+
+} // namespace scg
+
+#endif // SCG_EMULATION_SDCEMULATION_H

@@ -1,0 +1,58 @@
+//===- graph/Bfs.h - Breadth-first search over graphs ----------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BFS over explicit graphs and over implicit neighbor functions. The
+/// implicit form is how distances are computed in super Cayley graphs
+/// without materializing adjacency: the caller supplies a neighbor callback
+/// over dense node ids (typically Lehmer ranks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_GRAPH_BFS_H
+#define SCG_GRAPH_BFS_H
+
+#include "graph/Graph.h"
+
+#include <functional>
+#include <limits>
+
+namespace scg {
+
+/// Distance value for unreachable nodes.
+constexpr uint32_t UnreachableDistance =
+    std::numeric_limits<uint32_t>::max();
+
+/// Result of a single-source BFS.
+struct BfsResult {
+  /// Distance from the source per node; UnreachableDistance if unreachable.
+  std::vector<uint32_t> Distance;
+  /// Parent node per node (source's parent is itself); undefined when
+  /// unreachable.
+  std::vector<NodeId> Parent;
+  /// Largest finite distance found.
+  uint32_t Eccentricity = 0;
+  /// Number of reachable nodes (including the source).
+  uint64_t NumReached = 0;
+  /// Sum of finite distances (for average-distance computations).
+  uint64_t DistanceSum = 0;
+};
+
+/// BFS from \p Source over the explicit graph \p G.
+BfsResult bfs(const Graph &G, NodeId Source);
+
+/// Callback enumerating out-neighbors of a node: invoked with the node id,
+/// must call the sink for each neighbor.
+using NeighborFn =
+    std::function<void(NodeId, const std::function<void(NodeId)> &)>;
+
+/// BFS from \p Source over an implicit graph on \p NumNodes nodes.
+BfsResult bfsImplicit(uint64_t NumNodes, NodeId Source,
+                      const NeighborFn &Neighbors);
+
+} // namespace scg
+
+#endif // SCG_GRAPH_BFS_H

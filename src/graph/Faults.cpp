@@ -1,0 +1,93 @@
+//===- graph/Faults.cpp - Fault injection and robustness -----------------===//
+
+#include "graph/Faults.h"
+
+#include "graph/Bfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace scg;
+
+Graph scg::applyFaults(const Graph &G, const FaultSet &Faults) {
+  Graph Out(G.numNodes());
+  for (NodeId From = 0; From != G.numNodes(); ++From)
+    for (NodeId To : G.neighbors(From))
+      if (!Faults.linkFailed(From, To))
+        Out.addEdge(From, To);
+  return Out;
+}
+
+FaultAnalysis scg::analyzeUnderFaults(const Graph &G,
+                                      const FaultSet &Faults) {
+  Graph Surviving = applyFaults(G, Faults);
+  FaultAnalysis Analysis;
+  for (NodeId Node = 0; Node != G.numNodes(); ++Node)
+    if (!Faults.nodeFailed(Node))
+      ++Analysis.HealthyNodes;
+  if (Analysis.HealthyNodes == 0)
+    return Analysis;
+
+  Analysis.Connected = true;
+  for (NodeId Source = 0; Source != G.numNodes(); ++Source) {
+    if (Faults.nodeFailed(Source))
+      continue;
+    BfsResult R = bfs(Surviving, Source);
+    if (R.NumReached != Analysis.HealthyNodes) {
+      Analysis.Connected = false;
+      return Analysis;
+    }
+    Analysis.Diameter = std::max(Analysis.Diameter, R.Eccentricity);
+  }
+  return Analysis;
+}
+
+SingleFaultSweep scg::sweepSingleLinkFaults(const Graph &G,
+                                            unsigned Stride) {
+  assert(Stride >= 1 && "stride must be positive");
+  SingleFaultSweep Sweep;
+  Sweep.AlwaysConnected = true;
+  Sweep.FaultFreeDiameter =
+      analyzeUnderFaults(G, FaultSet()).Diameter;
+
+  uint64_t Index = 0;
+  for (NodeId From = 0; From != G.numNodes(); ++From)
+    for (NodeId To : G.neighbors(From)) {
+      if (From > To)
+        continue; // one scenario per undirected link.
+      if (Index++ % Stride != 0)
+        continue;
+      FaultSet Faults;
+      Faults.failLink(From, To);
+      FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
+      ++Sweep.ScenariosTried;
+      if (!Analysis.Connected) {
+        Sweep.AlwaysConnected = false;
+        continue;
+      }
+      Sweep.WorstDiameter = std::max(Sweep.WorstDiameter, Analysis.Diameter);
+    }
+  return Sweep;
+}
+
+SingleFaultSweep scg::sweepSingleNodeFaults(const Graph &G,
+                                            unsigned Stride) {
+  assert(Stride >= 1 && "stride must be positive");
+  SingleFaultSweep Sweep;
+  Sweep.AlwaysConnected = true;
+  Sweep.FaultFreeDiameter =
+      analyzeUnderFaults(G, FaultSet()).Diameter;
+
+  for (NodeId Node = 0; Node < G.numNodes(); Node += Stride) {
+    FaultSet Faults;
+    Faults.failNode(Node);
+    FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
+    ++Sweep.ScenariosTried;
+    if (!Analysis.Connected) {
+      Sweep.AlwaysConnected = false;
+      continue;
+    }
+    Sweep.WorstDiameter = std::max(Sweep.WorstDiameter, Analysis.Diameter);
+  }
+  return Sweep;
+}

@@ -1,0 +1,93 @@
+//===- graph/Faults.h - Fault injection and robustness ---------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault injection for robustness studies: the paper leans on the
+/// transposition network's reputation as a "fault-tolerant robust
+/// network" [12], and Cayley-graph regularity gives all the classes here
+/// nontrivial connectivity. This module removes links/nodes from an
+/// explicit graph and measures what survives: connectivity of the healthy
+/// part, diameter inflation, and exhaustive or sampled sweeps over all
+/// single-fault scenarios.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_GRAPH_FAULTS_H
+#define SCG_GRAPH_FAULTS_H
+
+#include "graph/Graph.h"
+
+#include <set>
+
+namespace scg {
+
+/// A set of failed components. Node faults kill all incident links.
+class FaultSet {
+public:
+  /// Fails the directed link From -> To.
+  void failDirectedLink(NodeId From, NodeId To) {
+    Links.insert({From, To});
+  }
+
+  /// Fails both directions of {A, B}.
+  void failLink(NodeId A, NodeId B) {
+    failDirectedLink(A, B);
+    failDirectedLink(B, A);
+  }
+
+  /// Fails a node (its links in both directions).
+  void failNode(NodeId Node) { Nodes.insert(Node); }
+
+  bool linkFailed(NodeId From, NodeId To) const {
+    return Nodes.count(From) || Nodes.count(To) ||
+           Links.count({From, To});
+  }
+
+  bool nodeFailed(NodeId Node) const { return Nodes.count(Node); }
+
+  size_t numFailedNodes() const { return Nodes.size(); }
+  size_t numFailedLinks() const { return Links.size(); }
+
+private:
+  std::set<std::pair<NodeId, NodeId>> Links;
+  std::set<NodeId> Nodes;
+};
+
+/// Returns \p G with every failed link removed (failed nodes keep their id
+/// but lose all links).
+Graph applyFaults(const Graph &G, const FaultSet &Faults);
+
+/// Health of the surviving network: connectivity and distances among the
+/// healthy nodes.
+struct FaultAnalysis {
+  bool Connected = false;   ///< all healthy nodes mutually reachable.
+  uint32_t Diameter = 0;    ///< over healthy pairs; meaningless if not
+                            ///< connected.
+  uint64_t HealthyNodes = 0;
+};
+
+/// Analyzes \p G under \p Faults via BFS over all healthy sources.
+FaultAnalysis analyzeUnderFaults(const Graph &G, const FaultSet &Faults);
+
+/// Worst case over single-fault scenarios.
+struct SingleFaultSweep {
+  bool AlwaysConnected = false;
+  uint32_t WorstDiameter = 0;
+  uint32_t FaultFreeDiameter = 0;
+  uint64_t ScenariosTried = 0;
+};
+
+/// Removes every \p Stride-th undirected link in turn (Stride 1 =
+/// exhaustive) and reports the worst outcome. \p G must be undirected.
+SingleFaultSweep sweepSingleLinkFaults(const Graph &G, unsigned Stride = 1);
+
+/// Removes every \p Stride-th node in turn and reports the worst outcome
+/// among the survivors.
+SingleFaultSweep sweepSingleNodeFaults(const Graph &G, unsigned Stride = 1);
+
+} // namespace scg
+
+#endif // SCG_GRAPH_FAULTS_H

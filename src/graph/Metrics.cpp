@@ -1,0 +1,49 @@
+//===- graph/Metrics.cpp - Diameter and distance statistics --------------===//
+
+#include "graph/Metrics.h"
+
+#include "graph/Bfs.h"
+
+#include <algorithm>
+
+using namespace scg;
+
+DistanceStats scg::allPairsStats(const Graph &G) {
+  DistanceStats Stats;
+  if (G.numNodes() == 0)
+    return Stats;
+  Stats.Connected = true;
+  uint64_t TotalSum = 0;
+  for (NodeId Source = 0; Source != G.numNodes(); ++Source) {
+    BfsResult R = bfs(G, Source);
+    if (R.NumReached != G.numNodes()) {
+      Stats.Connected = false;
+      return Stats;
+    }
+    Stats.Diameter = std::max(Stats.Diameter, R.Eccentricity);
+    TotalSum += R.DistanceSum;
+  }
+  uint64_t Pairs = uint64_t(G.numNodes()) * (G.numNodes() - 1);
+  Stats.AverageDistance = Pairs ? double(TotalSum) / double(Pairs) : 0.0;
+  return Stats;
+}
+
+DistanceStats scg::vertexTransitiveStats(const Graph &G,
+                                         NodeId Representative) {
+  DistanceStats Stats;
+  if (G.numNodes() == 0)
+    return Stats;
+  BfsResult R = bfs(G, Representative);
+  Stats.Connected = (R.NumReached == G.numNodes());
+  Stats.Diameter = R.Eccentricity;
+  Stats.AverageDistance = G.numNodes() > 1
+                              ? double(R.DistanceSum) / (G.numNodes() - 1)
+                              : 0.0;
+  return Stats;
+}
+
+bool scg::isConnectedFromZero(const Graph &G) {
+  if (G.numNodes() == 0)
+    return true;
+  return bfs(G, 0).NumReached == G.numNodes();
+}

@@ -1,0 +1,43 @@
+//===- graph/Metrics.h - Diameter and distance statistics ------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph-level metrics: connectivity, diameter, average internodal distance.
+/// For vertex-transitive graphs (every Cayley graph is), the eccentricity
+/// and distance distribution of a single node are those of every node, so
+/// one BFS suffices; the general all-pairs form is provided for the guest
+/// topologies and for cross-checking the transitivity shortcut in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_GRAPH_METRICS_H
+#define SCG_GRAPH_METRICS_H
+
+#include "graph/Graph.h"
+
+namespace scg {
+
+/// Summary distance statistics of a graph.
+struct DistanceStats {
+  bool Connected = false;
+  uint32_t Diameter = 0;
+  double AverageDistance = 0.0; ///< Over ordered pairs of distinct nodes.
+};
+
+/// All-pairs statistics via one BFS per node (O(V * E)).
+DistanceStats allPairsStats(const Graph &G);
+
+/// Single-BFS statistics from \p Representative, valid for vertex-transitive
+/// graphs; \p Representative defaults to node 0.
+DistanceStats vertexTransitiveStats(const Graph &G, NodeId Representative = 0);
+
+/// True if all nodes are reachable from node 0 (for undirected or strongly
+/// regular directed graphs this implies connectivity of interest here).
+bool isConnectedFromZero(const Graph &G);
+
+} // namespace scg
+
+#endif // SCG_GRAPH_METRICS_H

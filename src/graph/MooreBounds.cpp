@@ -1,0 +1,77 @@
+//===- graph/MooreBounds.cpp - Universal degree-diameter bounds ----------===//
+
+#include "graph/MooreBounds.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace scg;
+
+namespace {
+
+constexpr uint64_t Saturated = std::numeric_limits<uint64_t>::max();
+
+/// Nodes at exactly distance \p Radius >= 1 in the best case:
+/// d * (d-1)^{r-1} undirected, d^r directed. Saturates.
+uint64_t layerSize(unsigned Degree, unsigned Radius, bool Directed) {
+  assert(Radius >= 1);
+  uint64_t Size = Degree;
+  uint64_t Factor = Directed ? Degree : (Degree > 1 ? Degree - 1 : 0);
+  for (unsigned R = 1; R != Radius; ++R) {
+    if (Factor != 0 && Size > Saturated / Factor)
+      return Saturated;
+    Size *= Factor;
+    if (Size == 0)
+      return 0;
+  }
+  return Size;
+}
+
+} // namespace
+
+uint64_t scg::mooreBallSize(unsigned Degree, unsigned Radius,
+                            bool Directed) {
+  uint64_t Total = 1;
+  for (unsigned R = 1; R <= Radius; ++R) {
+    uint64_t Layer = layerSize(Degree, R, Directed);
+    if (Layer >= Saturated - Total)
+      return Saturated;
+    Total += Layer;
+    if (Layer == 0)
+      break;
+  }
+  return Total;
+}
+
+unsigned scg::mooreDiameterLowerBound(unsigned Degree, uint64_t NumNodes,
+                                      bool Directed) {
+  assert(Degree >= 1 && "degenerate network");
+  if (NumNodes <= 1)
+    return 0;
+  unsigned Radius = 0;
+  while (mooreBallSize(Degree, Radius, Directed) < NumNodes) {
+    ++Radius;
+    assert(Radius < 10000 && "diameter bound runaway (degree 1?)");
+  }
+  return Radius;
+}
+
+double scg::mooreMeanDistanceLowerBound(unsigned Degree, uint64_t NumNodes,
+                                        bool Directed) {
+  assert(Degree >= 1 && "degenerate network");
+  if (NumNodes <= 1)
+    return 0.0;
+  // Fill layers greedily: layer r holds at most layerSize(r) nodes.
+  uint64_t Remaining = NumNodes - 1;
+  double WeightedSum = 0.0;
+  unsigned Radius = 1;
+  while (Remaining != 0) {
+    uint64_t Layer = layerSize(Degree, Radius, Directed);
+    uint64_t Here = Layer < Remaining ? Layer : Remaining;
+    WeightedSum += double(Radius) * double(Here);
+    Remaining -= Here;
+    ++Radius;
+    assert(Radius < 10000 && "mean-distance bound runaway");
+  }
+  return WeightedSum / double(NumNodes - 1);
+}

@@ -1,0 +1,44 @@
+//===- graph/MooreBounds.h - Universal degree-diameter bounds --*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The universal lower bounds the paper's optimality arguments invoke: a
+/// degree-d network can reach at most d(d-1)^{r-1} new nodes at distance r
+/// (d^r when directed), so N nodes force diameter >= DL(d, N) and mean
+/// internodal distance >= the Moore-ball average. The proof of
+/// Corollary 3 uses exactly this mean-distance bound
+/// ("... the mean internodal distance of an N-node graph with degree
+/// Theta(sqrt(log N / log log N)) is at least Omega(log N / log log N)"),
+/// and the "optimal diameters given their node degree" claim of the
+/// introduction is DL-relative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_GRAPH_MOOREBOUNDS_H
+#define SCG_GRAPH_MOOREBOUNDS_H
+
+#include <cstdint>
+
+namespace scg {
+
+/// Maximum number of nodes within distance \p Radius of a node in a
+/// degree-\p Degree graph (inclusive of the node itself); saturates at
+/// UINT64_MAX on overflow.
+uint64_t mooreBallSize(unsigned Degree, unsigned Radius, bool Directed);
+
+/// DL(d, N): the smallest diameter any \p Directed? directed : undirected
+/// degree-\p Degree graph on \p NumNodes nodes can have.
+unsigned mooreDiameterLowerBound(unsigned Degree, uint64_t NumNodes,
+                                 bool Directed);
+
+/// Lower bound on the mean internodal distance (average over ordered
+/// pairs of distinct nodes): pack nodes greedily into the closest layers.
+double mooreMeanDistanceLowerBound(unsigned Degree, uint64_t NumNodes,
+                                   bool Directed);
+
+} // namespace scg
+
+#endif // SCG_GRAPH_MOOREBOUNDS_H

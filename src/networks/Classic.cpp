@@ -1,0 +1,87 @@
+//===- networks/Classic.cpp - Classic guest topologies -------------------===//
+
+#include "networks/Classic.h"
+
+#include <cassert>
+
+using namespace scg;
+
+Graph scg::hypercube(unsigned Dim) {
+  assert(Dim < 31 && "hypercube dimension too large to materialize");
+  NodeId N = NodeId(1) << Dim;
+  Graph G(N);
+  for (NodeId U = 0; U != N; ++U)
+    for (unsigned Bit = 0; Bit != Dim; ++Bit) {
+      NodeId V = U ^ (NodeId(1) << Bit);
+      if (U < V)
+        G.addUndirectedEdge(U, V);
+    }
+  return G;
+}
+
+Graph scg::mesh2D(unsigned Rows, unsigned Cols) {
+  assert(Rows >= 1 && Cols >= 1 && "mesh extents must be positive");
+  Graph G(Rows * Cols);
+  for (unsigned R = 0; R != Rows; ++R)
+    for (unsigned C = 0; C != Cols; ++C) {
+      NodeId U = R * Cols + C;
+      if (C + 1 != Cols)
+        G.addUndirectedEdge(U, U + 1);
+      if (R + 1 != Rows)
+        G.addUndirectedEdge(U, U + Cols);
+    }
+  return G;
+}
+
+Graph scg::mixedRadixMesh(const std::vector<unsigned> &Dims) {
+  uint64_t N = 1;
+  for (unsigned D : Dims) {
+    assert(D >= 1 && "mesh extents must be positive");
+    N *= D;
+  }
+  assert(N <= (uint64_t(1) << 31) && "mixed-radix mesh too large");
+  Graph G(static_cast<NodeId>(N));
+  for (uint64_t U = 0; U != N; ++U) {
+    std::vector<unsigned> Coords = mixedRadixCoords(U, Dims);
+    for (size_t Axis = 0; Axis != Dims.size(); ++Axis) {
+      if (Coords[Axis] + 1 == Dims[Axis])
+        continue;
+      ++Coords[Axis];
+      G.addUndirectedEdge(static_cast<NodeId>(U),
+                          static_cast<NodeId>(mixedRadixId(Coords, Dims)));
+      --Coords[Axis];
+    }
+  }
+  return G;
+}
+
+std::vector<unsigned>
+scg::mixedRadixCoords(uint64_t Id, const std::vector<unsigned> &Dims) {
+  std::vector<unsigned> Coords(Dims.size(), 0);
+  for (size_t Axis = Dims.size(); Axis != 0; --Axis) {
+    Coords[Axis - 1] = static_cast<unsigned>(Id % Dims[Axis - 1]);
+    Id /= Dims[Axis - 1];
+  }
+  assert(Id == 0 && "id out of range for the given extents");
+  return Coords;
+}
+
+uint64_t scg::mixedRadixId(const std::vector<unsigned> &Coords,
+                           const std::vector<unsigned> &Dims) {
+  assert(Coords.size() == Dims.size() && "coordinate arity mismatch");
+  uint64_t Id = 0;
+  for (size_t Axis = 0; Axis != Dims.size(); ++Axis) {
+    assert(Coords[Axis] < Dims[Axis] && "coordinate out of range");
+    Id = Id * Dims[Axis] + Coords[Axis];
+  }
+  return Id;
+}
+
+Graph scg::completeBinaryTree(unsigned Height) {
+  assert(Height < 30 && "tree too tall to materialize");
+  NodeId N = (NodeId(1) << (Height + 1)) - 1;
+  Graph G(N);
+  for (NodeId V = 1; V != N; ++V)
+    G.addUndirectedEdge((V - 1) / 2, V);
+  return G;
+}

@@ -1,0 +1,58 @@
+//===- networks/Clusters.cpp - Modular (cluster) structure ---------------===//
+
+#include "networks/Clusters.h"
+
+#include "perm/Lehmer.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace scg;
+
+ClusterStructure::ClusterStructure(const ExplicitScg &Net) : Net(Net) {
+  const SuperCayleyGraph &Scg = Net.network();
+  assert(Scg.numBoxes() >= 2 && "single-level networks are one cluster");
+  unsigned N = Scg.ballsPerBox();
+  unsigned K = Scg.numSymbols();
+
+  Labels.resize(Net.numNodes());
+  std::map<std::vector<uint8_t>, uint32_t> Ids;
+  for (NodeId U = 0; U != Net.numNodes(); ++U) {
+    Permutation Label = Net.label(U);
+    // The cluster signature: symbols outside the outside-ball slot and the
+    // leftmost box (0-based positions n+1 .. k-1).
+    std::vector<uint8_t> Suffix;
+    Suffix.reserve(K - N - 1);
+    for (unsigned P = N + 1; P != K; ++P)
+      Suffix.push_back(Label[P]);
+    auto [It, Inserted] = Ids.emplace(std::move(Suffix), Ids.size());
+    Labels[U] = It->second;
+    (void)Inserted;
+  }
+  Count = Ids.size();
+  Size = Net.numNodes() / Count;
+  assert(Count * Size == Net.numNodes() && "uneven clusters");
+  assert(Size == factorial(N + 1) && "cluster is not a nucleus network");
+}
+
+bool ClusterStructure::isIntraCluster(GenIndex G) const {
+  return Net.network().generators()[G].Kind == GeneratorKind::Nucleus;
+}
+
+Graph ClusterStructure::clusterGraph() const {
+  std::set<std::pair<uint32_t, uint32_t>> Edges;
+  for (NodeId U = 0; U != Net.numNodes(); ++U)
+    for (GenIndex G = 0; G != Net.degree(); ++G) {
+      if (isIntraCluster(G))
+        continue;
+      uint32_t A = Labels[U];
+      uint32_t B = Labels[Net.next(U, G)];
+      assert(A != B && "super link stayed inside a cluster");
+      Edges.insert({A, B});
+    }
+  Graph G(static_cast<NodeId>(Count));
+  for (auto [A, B] : Edges)
+    G.addEdge(A, B);
+  return G;
+}

@@ -1,0 +1,43 @@
+//===- networks/Explicit.cpp - Materialized super Cayley graphs ----------===//
+
+#include "networks/Explicit.h"
+
+#include "perm/Lehmer.h"
+
+#include <cassert>
+
+using namespace scg;
+
+ExplicitScg::ExplicitScg(SuperCayleyGraph Network) : Net(std::move(Network)) {
+  unsigned K = Net.numSymbols();
+  assert(K <= 10 && "explicit enumeration is limited to k <= 10 (k! nodes)");
+  uint64_t N = factorial(K);
+  Count = static_cast<NodeId>(N);
+  unsigned Degree = Net.degree();
+  Next.resize(N * Degree);
+  for (uint64_t U = 0; U != N; ++U) {
+    Permutation Label = unrankPermutation(U, K);
+    for (GenIndex G = 0; G != Degree; ++G) {
+      Permutation V = Net.neighbor(Label, G);
+      Next[U * Degree + G] = static_cast<NodeId>(rankPermutation(V));
+    }
+  }
+}
+
+Permutation ExplicitScg::label(NodeId U) const {
+  assert(U < Count && "node id out of range");
+  return unrankPermutation(U, Net.numSymbols());
+}
+
+NodeId ExplicitScg::rankOf(const Permutation &P) const {
+  assert(P.size() == Net.numSymbols() && "label size mismatch");
+  return static_cast<NodeId>(rankPermutation(P));
+}
+
+Graph ExplicitScg::toGraph() const {
+  Graph G(Count);
+  for (NodeId U = 0; U != Count; ++U)
+    for (GenIndex Gen = 0; Gen != degree(); ++Gen)
+      G.addEdge(U, next(U, Gen));
+  return G;
+}

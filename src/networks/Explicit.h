@@ -1,0 +1,59 @@
+//===- networks/Explicit.h - Materialized super Cayley graphs --*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Materializes a SuperCayleyGraph descriptor as an explicit Graph whose
+/// node ids are Lehmer ranks of the labels (identity = node 0). Also keeps
+/// the per-link generator labels, which routing, embedding congestion, and
+/// the simulator all need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_NETWORKS_EXPLICIT_H
+#define SCG_NETWORKS_EXPLICIT_H
+
+#include "core/SuperCayleyGraph.h"
+#include "graph/Graph.h"
+
+namespace scg {
+
+/// An explicit, Lehmer-ranked copy of a super Cayley graph. For each node
+/// id u and generator index g, the neighbor id is Next[u * degree + g].
+class ExplicitScg {
+public:
+  /// Materializes \p Network (stored by value, so temporaries are fine);
+  /// asserts k <= 10 (k! nodes are enumerated).
+  explicit ExplicitScg(SuperCayleyGraph Network);
+
+  const SuperCayleyGraph &network() const { return Net; }
+
+  NodeId numNodes() const { return Count; }
+  unsigned degree() const { return Net.degree(); }
+
+  /// Neighbor of node \p U along generator \p G.
+  NodeId next(NodeId U, GenIndex G) const {
+    assert(U < Count && G < degree() && "index out of range");
+    return Next[uint64_t(U) * degree() + G];
+  }
+
+  /// Label of node \p U (unranked on demand).
+  Permutation label(NodeId U) const;
+
+  /// Node id of label \p P.
+  NodeId rankOf(const Permutation &P) const;
+
+  /// Builds the plain Graph view (adjacency without generator labels).
+  Graph toGraph() const;
+
+private:
+  SuperCayleyGraph Net;
+  NodeId Count;
+  std::vector<NodeId> Next; ///< Count x degree neighbor table.
+};
+
+} // namespace scg
+
+#endif // SCG_NETWORKS_EXPLICIT_H

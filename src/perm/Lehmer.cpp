@@ -1,0 +1,65 @@
+//===- perm/Lehmer.cpp - Lehmer codes and permutation ranking ------------===//
+
+#include "perm/Lehmer.h"
+
+#include <cassert>
+
+using namespace scg;
+
+uint64_t scg::factorial(unsigned K) {
+  assert(K <= 20 && "k! overflows uint64_t beyond k = 20");
+  uint64_t Result = 1;
+  for (unsigned I = 2; I <= K; ++I)
+    Result *= I;
+  return Result;
+}
+
+std::vector<uint8_t> scg::lehmerCode(const Permutation &P) {
+  unsigned K = P.size();
+  std::vector<uint8_t> Code(K, 0);
+  for (unsigned I = 0; I != K; ++I) {
+    unsigned Smaller = 0;
+    for (unsigned J = I + 1; J != K; ++J)
+      if (P[J] < P[I])
+        ++Smaller;
+    Code[I] = static_cast<uint8_t>(Smaller);
+  }
+  return Code;
+}
+
+Permutation scg::fromLehmerCode(const std::vector<uint8_t> &Code) {
+  unsigned K = Code.size();
+  // Remaining symbols in increasing order; c_i selects the c_i-th remaining.
+  std::vector<uint8_t> Remaining;
+  Remaining.reserve(K);
+  for (unsigned I = 0; I != K; ++I)
+    Remaining.push_back(static_cast<uint8_t>(I));
+  std::vector<uint8_t> OneLine;
+  OneLine.reserve(K);
+  for (unsigned I = 0; I != K; ++I) {
+    assert(Code[I] < Remaining.size() && "Lehmer digit out of range");
+    OneLine.push_back(Remaining[Code[I]]);
+    Remaining.erase(Remaining.begin() + Code[I]);
+  }
+  return Permutation::fromOneLine(std::move(OneLine));
+}
+
+uint64_t scg::rankPermutation(const Permutation &P) {
+  unsigned K = P.size();
+  std::vector<uint8_t> Code = lehmerCode(P);
+  uint64_t Rank = 0;
+  for (unsigned I = 0; I != K; ++I)
+    Rank = Rank * (K - I) + Code[I];
+  return Rank;
+}
+
+Permutation scg::unrankPermutation(uint64_t Rank, unsigned K) {
+  assert(Rank < factorial(K) && "rank out of range");
+  std::vector<uint8_t> Code(K, 0);
+  for (unsigned I = K; I != 0; --I) {
+    unsigned Radix = K - I + 1; // digit I-1 has radix K - (I-1).
+    Code[I - 1] = static_cast<uint8_t>(Rank % Radix);
+    Rank /= Radix;
+  }
+  return fromLehmerCode(Code);
+}

@@ -1,0 +1,147 @@
+//===- perm/Permutation.cpp - Dense permutations on k symbols ------------===//
+
+#include "perm/Permutation.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace scg;
+
+Permutation Permutation::identity(unsigned K) {
+  Permutation P;
+  P.Entries.resize(K);
+  for (unsigned I = 0; I != K; ++I)
+    P.Entries[I] = static_cast<uint8_t>(I);
+  return P;
+}
+
+Permutation Permutation::fromOneLine(std::vector<uint8_t> OneLine) {
+  assert(OneLine.size() < 256 && "permutation too large for uint8_t symbols");
+#ifndef NDEBUG
+  std::vector<bool> Seen(OneLine.size(), false);
+  for (uint8_t E : OneLine) {
+    assert(E < OneLine.size() && "symbol out of range");
+    assert(!Seen[E] && "duplicate symbol in one-line notation");
+    Seen[E] = true;
+  }
+#endif
+  Permutation P;
+  P.Entries = std::move(OneLine);
+  return P;
+}
+
+Permutation Permutation::parseOneBased(const std::string &Text) {
+  std::istringstream IS(Text);
+  std::vector<uint8_t> OneLine;
+  long Value;
+  while (IS >> Value) {
+    if (Value < 1 || Value > 255)
+      return Permutation();
+    OneLine.push_back(static_cast<uint8_t>(Value - 1));
+  }
+  // Validate: must be a permutation of 0..size-1.
+  std::vector<bool> Seen(OneLine.size(), false);
+  for (uint8_t E : OneLine) {
+    if (E >= OneLine.size() || Seen[E])
+      return Permutation();
+    Seen[E] = true;
+  }
+  return fromOneLine(std::move(OneLine));
+}
+
+Permutation Permutation::compose(const Permutation &Rhs) const {
+  assert(size() == Rhs.size() && "size mismatch in composition");
+  Permutation Result;
+  Result.Entries.resize(size());
+  for (unsigned P = 0; P != size(); ++P)
+    Result.Entries[P] = Entries[Rhs.Entries[P]];
+  return Result;
+}
+
+Permutation Permutation::inverse() const {
+  Permutation Result;
+  Result.Entries.resize(size());
+  for (unsigned P = 0; P != size(); ++P)
+    Result.Entries[Entries[P]] = static_cast<uint8_t>(P);
+  return Result;
+}
+
+unsigned Permutation::positionOf(uint8_t Symbol) const {
+  for (unsigned P = 0; P != size(); ++P)
+    if (Entries[P] == Symbol)
+      return P;
+  assert(false && "symbol not present");
+  return size();
+}
+
+bool Permutation::isIdentity() const {
+  for (unsigned P = 0; P != size(); ++P)
+    if (Entries[P] != P)
+      return false;
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> Permutation::nontrivialCycles() const {
+  std::vector<std::vector<uint8_t>> Cycles;
+  std::vector<bool> Visited(size(), false);
+  for (unsigned Start = 0; Start != size(); ++Start) {
+    if (Visited[Start] || Entries[Start] == Start)
+      continue;
+    std::vector<uint8_t> Cycle;
+    unsigned Cur = Start;
+    while (!Visited[Cur]) {
+      Visited[Cur] = true;
+      Cycle.push_back(static_cast<uint8_t>(Cur));
+      Cur = Entries[Cur];
+    }
+    Cycles.push_back(std::move(Cycle));
+  }
+  return Cycles;
+}
+
+unsigned Permutation::numDisplaced() const {
+  unsigned Count = 0;
+  for (unsigned P = 0; P != size(); ++P)
+    if (Entries[P] != P)
+      ++Count;
+  return Count;
+}
+
+int Permutation::sign() const {
+  // Parity = (-1)^(k - number of cycles including fixed points).
+  unsigned NumCycles = 0;
+  std::vector<bool> Visited(size(), false);
+  for (unsigned Start = 0; Start != size(); ++Start) {
+    if (Visited[Start])
+      continue;
+    ++NumCycles;
+    unsigned Cur = Start;
+    while (!Visited[Cur]) {
+      Visited[Cur] = true;
+      Cur = Entries[Cur];
+    }
+  }
+  return ((size() - NumCycles) % 2 == 0) ? 1 : -1;
+}
+
+std::string Permutation::str() const {
+  std::vector<unsigned> OneBased;
+  OneBased.reserve(size());
+  for (uint8_t E : Entries)
+    OneBased.push_back(E + 1u);
+  return join(OneBased, " ");
+}
+
+std::string Permutation::strBoxes(unsigned N) const {
+  assert(N != 0 && (size() - 1) % N == 0 &&
+         "label length must be l*n+1 for the boxes view");
+  std::ostringstream OS;
+  OS << unsigned(Entries[0]) + 1;
+  for (unsigned P = 1; P != size(); ++P) {
+    OS << (((P - 1) % N == 0) ? " | " : " ");
+    OS << unsigned(Entries[P]) + 1;
+  }
+  return OS.str();
+}

@@ -1,0 +1,123 @@
+//===- perm/Permutation.h - Dense permutations on k symbols ----*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense permutations of {0, ..., k-1}, the label algebra underlying every
+/// super Cayley graph in the paper. A node label "u_1 u_2 ... u_k" from the
+/// paper (positions and symbols 1-based) is stored 0-based: entry(P) is the
+/// symbol at position P. Generators are themselves permutations of positions
+/// acting by right composition: applying generator Sigma to label U yields
+/// V with V[P] = U[Sigma[P]], i.e. V = U o Sigma (see DESIGN.md section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_PERM_PERMUTATION_H
+#define SCG_PERM_PERMUTATION_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scg {
+
+/// A permutation of {0, ..., k-1} in one-line notation.
+///
+/// Supports k up to 255 (symbols are stored as uint8_t); the explicit graph
+/// algorithms in this project only enumerate up to k = 12 anyway since a
+/// super Cayley graph has k! nodes.
+class Permutation {
+public:
+  /// Constructs the empty (k = 0) permutation.
+  Permutation() = default;
+
+  /// Constructs the identity permutation on \p K symbols.
+  static Permutation identity(unsigned K);
+
+  /// Constructs a permutation from one-line notation; \p OneLine must contain
+  /// each of 0..size-1 exactly once (asserted).
+  static Permutation fromOneLine(std::vector<uint8_t> OneLine);
+
+  /// Parses "3 1 2" style 1-based one-line notation (the paper's convention);
+  /// returns the empty permutation on malformed input.
+  static Permutation parseOneBased(const std::string &Text);
+
+  /// Returns the number of symbols k.
+  unsigned size() const { return Entries.size(); }
+
+  /// Returns the symbol at (0-based) position \p Pos.
+  uint8_t operator[](unsigned Pos) const {
+    assert(Pos < Entries.size() && "position out of range");
+    return Entries[Pos];
+  }
+
+  /// Returns this o Rhs: (this o Rhs)[P] = this[Rhs[P]]. When \p Rhs is a
+  /// generator acting on positions, this is one hop along that generator.
+  Permutation compose(const Permutation &Rhs) const;
+
+  /// Returns the inverse permutation.
+  Permutation inverse() const;
+
+  /// Applies generator \p Sigma (a permutation of positions) to this label:
+  /// shorthand for compose(Sigma).
+  Permutation applyGenerator(const Permutation &Sigma) const {
+    return compose(Sigma);
+  }
+
+  /// Returns the position of symbol \p Symbol (the inverse image).
+  unsigned positionOf(uint8_t Symbol) const;
+
+  /// Returns true if this is the identity.
+  bool isIdentity() const;
+
+  /// Returns the cycles of length >= 2, each cycle listed as the sequence of
+  /// symbols it moves, canonicalized to start at the smallest symbol, cycles
+  /// sorted by their smallest symbol.
+  std::vector<std::vector<uint8_t>> nontrivialCycles() const;
+
+  /// Returns the number of symbols s with perm[s] != s.
+  unsigned numDisplaced() const;
+
+  /// Returns +1 or -1, the sign of the permutation.
+  int sign() const;
+
+  /// Renders 1-based one-line notation, e.g. "3 1 2".
+  std::string str() const;
+
+  /// Renders the ball-arrangement-game view with \p N balls per box:
+  /// "0 | 1 2 | 4 3" (outside ball, then l boxes). Requires size == l*n+1.
+  std::string strBoxes(unsigned N) const;
+
+  bool operator==(const Permutation &Rhs) const = default;
+
+  /// Lexicographic order on one-line notation (for deterministic sorting).
+  bool operator<(const Permutation &Rhs) const {
+    return Entries < Rhs.Entries;
+  }
+
+  /// Raw access for algorithms that need the whole word at once.
+  const std::vector<uint8_t> &oneLine() const { return Entries; }
+
+private:
+  std::vector<uint8_t> Entries;
+};
+
+/// Hash functor so permutations can key unordered containers.
+struct PermutationHash {
+  size_t operator()(const Permutation &P) const {
+    // FNV-1a over the one-line word.
+    size_t H = 1469598103934665603ULL;
+    for (uint8_t E : P.oneLine()) {
+      H ^= E;
+      H *= 1099511628211ULL;
+    }
+    return H;
+  }
+};
+
+} // namespace scg
+
+#endif // SCG_PERM_PERMUTATION_H

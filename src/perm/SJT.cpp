@@ -1,0 +1,59 @@
+//===- perm/SJT.cpp - Steinhaus-Johnson-Trotter enumeration --------------===//
+
+#include "perm/SJT.h"
+
+#include "perm/Lehmer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace scg;
+
+SjtEnumerator::SjtEnumerator(unsigned K)
+    : Current(Permutation::identity(K)), Direction(K, -1) {}
+
+bool SjtEnumerator::advance() {
+  unsigned K = Current.size();
+  // Find the largest mobile symbol: a symbol whose direction points at a
+  // smaller adjacent symbol.
+  const std::vector<uint8_t> &Line = Current.oneLine();
+  int BestSymbol = -1;
+  unsigned BestPos = 0;
+  for (unsigned Pos = 0; Pos != K; ++Pos) {
+    uint8_t Sym = Line[Pos];
+    int Dir = Direction[Sym];
+    int Target = static_cast<int>(Pos) + Dir;
+    if (Target < 0 || Target >= static_cast<int>(K))
+      continue;
+    if (Line[Target] < Sym && Sym > BestSymbol) {
+      BestSymbol = Sym;
+      BestPos = Pos;
+    }
+  }
+  if (BestSymbol < 0)
+    return false;
+
+  int Dir = Direction[BestSymbol];
+  unsigned NewPos = BestPos + Dir;
+  std::vector<uint8_t> Next = Line;
+  std::swap(Next[BestPos], Next[NewPos]);
+  Current = Permutation::fromOneLine(std::move(Next));
+  LastSwap = std::min(BestPos, NewPos);
+
+  // Reverse the direction of all symbols larger than the moved one.
+  for (unsigned Sym = BestSymbol + 1; Sym != K; ++Sym)
+    Direction[Sym] = -Direction[Sym];
+  return true;
+}
+
+std::vector<Permutation> scg::sjtOrder(unsigned K) {
+  assert(K <= 10 && "sjtOrder materializes k! permutations");
+  std::vector<Permutation> Result;
+  Result.reserve(factorial(K));
+  SjtEnumerator E(K);
+  do {
+    Result.push_back(E.current());
+  } while (E.advance());
+  assert(Result.size() == factorial(K) && "SJT enumeration incomplete");
+  return Result;
+}

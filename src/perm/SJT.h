@@ -1,0 +1,59 @@
+//===- perm/SJT.h - Steinhaus-Johnson-Trotter enumeration ------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steinhaus-Johnson-Trotter (plain changes) enumeration of S_k: every
+/// consecutive pair of permutations differs by one adjacent transposition.
+/// This is a Hamiltonian path in the bubble-sort graph and the backbone of
+/// the mesh -> transposition-network embedding of Corollary 6: rows of the
+/// (k-1)! x k mesh are S_{k-1} in SJT order, columns are the insertion slot
+/// of symbol k (see embedding/MeshEmbeddings.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_PERM_SJT_H
+#define SCG_PERM_SJT_H
+
+#include "perm/Permutation.h"
+
+namespace scg {
+
+/// Iterator-style generator of S_k in Steinhaus-Johnson-Trotter order.
+///
+/// Usage:
+/// \code
+///   SjtEnumerator E(4);
+///   do { use(E.current()); } while (E.advance());
+/// \endcode
+class SjtEnumerator {
+public:
+  /// Starts the enumeration at the identity permutation on \p K symbols.
+  explicit SjtEnumerator(unsigned K);
+
+  /// Returns the current permutation.
+  const Permutation &current() const { return Current; }
+
+  /// Advances to the next permutation; returns false when the enumeration is
+  /// exhausted (the current permutation is the last one).
+  bool advance();
+
+  /// Returns the (0-based) position of the left element of the adjacent
+  /// transposition performed by the most recent successful advance().
+  /// Undefined before the first advance.
+  unsigned lastSwapPosition() const { return LastSwap; }
+
+private:
+  Permutation Current;
+  std::vector<int> Direction; // per symbol: -1 left, +1 right.
+  unsigned LastSwap = 0;
+};
+
+/// Returns all of S_k in SJT order (k! entries); asserts k <= 10.
+std::vector<Permutation> sjtOrder(unsigned K);
+
+} // namespace scg
+
+#endif // SCG_PERM_SJT_H

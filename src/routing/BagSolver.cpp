@@ -1,0 +1,129 @@
+//===- routing/BagSolver.cpp - Generic shortest-path BAG solver ----------===//
+
+#include "routing/BagSolver.h"
+
+#include <unordered_map>
+
+using namespace scg;
+
+namespace {
+
+/// Discovery record: the generator taken from/toward the neighbor permutation
+/// recorded in Via (forward: Via o gen = this; backward: this o gen = Via).
+struct Mark {
+  Permutation Via;
+  GenIndex Gen = 0;
+  unsigned Depth = 0;
+  bool IsRoot = false;
+};
+
+using MarkMap = std::unordered_map<Permutation, Mark, PermutationHash>;
+
+/// Follows forward marks from \p Node back to the source, producing the hop
+/// list source -> Node.
+std::vector<GenIndex> forwardHops(const MarkMap &Fwd, Permutation Node) {
+  std::vector<GenIndex> Rev;
+  while (true) {
+    const Mark &M = Fwd.at(Node);
+    if (M.IsRoot)
+      break;
+    Rev.push_back(M.Gen);
+    Node = M.Via;
+  }
+  return {Rev.rbegin(), Rev.rend()};
+}
+
+/// Follows backward marks from \p Node to the destination, producing the
+/// hop list Node -> destination.
+std::vector<GenIndex> backwardHops(const MarkMap &Bwd, Permutation Node) {
+  std::vector<GenIndex> Hops;
+  while (true) {
+    const Mark &M = Bwd.at(Node);
+    if (M.IsRoot)
+      break;
+    Hops.push_back(M.Gen);
+    Node = M.Via;
+  }
+  return Hops;
+}
+
+} // namespace
+
+std::optional<GeneratorPath> scg::solveBag(const SuperCayleyGraph &Net,
+                                           const Permutation &Src,
+                                           const Permutation &Dst,
+                                           unsigned MaxDepth) {
+  assert(Src.size() == Net.numSymbols() && Dst.size() == Net.numSymbols() &&
+         "label size mismatch");
+  if (Src == Dst)
+    return GeneratorPath();
+
+  const GeneratorSet &Gens = Net.generators();
+  // Precompute actions and inverse actions once.
+  std::vector<Permutation> Fw, Bw;
+  for (GenIndex G = 0; G != Gens.size(); ++G) {
+    Fw.push_back(Gens[G].Sigma);
+    Bw.push_back(Gens[G].Sigma.inverse());
+  }
+
+  MarkMap FwdSeen, BwdSeen;
+  std::vector<Permutation> FwdFrontier{Src}, BwdFrontier{Dst};
+  FwdSeen.emplace(Src, Mark{{}, 0, 0, true});
+  BwdSeen.emplace(Dst, Mark{{}, 0, 0, true});
+  unsigned FwdDepth = 0, BwdDepth = 0;
+
+  while (!FwdFrontier.empty() && !BwdFrontier.empty()) {
+    if (MaxDepth && FwdDepth + BwdDepth >= MaxDepth)
+      return std::nullopt;
+
+    bool ExpandFwd = FwdFrontier.size() <= BwdFrontier.size();
+    std::vector<Permutation> &Frontier = ExpandFwd ? FwdFrontier : BwdFrontier;
+    MarkMap &Seen = ExpandFwd ? FwdSeen : BwdSeen;
+    MarkMap &Other = ExpandFwd ? BwdSeen : FwdSeen;
+    const std::vector<Permutation> &Actions = ExpandFwd ? Fw : Bw;
+    unsigned Depth = 1 + (ExpandFwd ? FwdDepth++ : BwdDepth++);
+
+    // Expand the whole level; among the meets found, the shortest total is
+    // Depth + (other side's depth of the meet node), which varies per meet,
+    // so pick the minimum rather than stopping at the first one.
+    std::vector<Permutation> NextFrontier;
+    std::optional<Permutation> Meet;
+    unsigned MeetTotal = 0;
+    for (const Permutation &Node : Frontier) {
+      for (GenIndex G = 0; G != Actions.size(); ++G) {
+        Permutation Neighbor = Node.compose(Actions[G]);
+        if (!Seen.emplace(Neighbor, Mark{Node, G, Depth, false}).second)
+          continue;
+        auto It = Other.find(Neighbor);
+        if (It != Other.end()) {
+          unsigned Total = Depth + It->second.Depth;
+          if (!Meet || Total < MeetTotal) {
+            Meet = Neighbor;
+            MeetTotal = Total;
+          }
+        }
+        NextFrontier.push_back(std::move(Neighbor));
+      }
+    }
+    if (Meet) {
+      std::vector<GenIndex> Hops = forwardHops(FwdSeen, *Meet);
+      for (GenIndex G : backwardHops(BwdSeen, *Meet))
+        Hops.push_back(G);
+      GeneratorPath Path(std::move(Hops));
+      assert(Path.connects(Net, Src, Dst) && "reconstructed path is broken");
+      return Path;
+    }
+    Frontier = std::move(NextFrontier);
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> scg::bagDistance(const SuperCayleyGraph &Net,
+                                         const Permutation &Src,
+                                         const Permutation &Dst,
+                                         unsigned MaxDepth) {
+  std::optional<GeneratorPath> Path = solveBag(Net, Src, Dst, MaxDepth);
+  if (!Path)
+    return std::nullopt;
+  return Path->length();
+}

@@ -1,0 +1,46 @@
+//===- routing/RouteOptimizer.cpp - Peephole path simplification ---------===//
+
+#include "routing/RouteOptimizer.h"
+
+using namespace scg;
+
+GeneratorPath scg::simplifyPath(const SuperCayleyGraph &Net,
+                                const GeneratorPath &Path) {
+  const GeneratorSet &Gens = Net.generators();
+  // Stack-based cancellation: whenever the incoming hop composes with the
+  // top of the stack to the identity (or to another single link), replace.
+  std::vector<GenIndex> Stack;
+  for (GenIndex Hop : Path.hops()) {
+    GenIndex Cur = Hop;
+    bool Consumed = false;
+    while (!Stack.empty()) {
+      GenIndex Top = Stack.back();
+      Permutation Product = Gens[Top].Sigma.compose(Gens[Cur].Sigma);
+      if (Product.isIdentity()) {
+        Stack.pop_back(); // Inverse pair: both hops vanish.
+        Consumed = true;
+        break;
+      }
+      // Fold two adjacent hops into one when their product is itself a
+      // link (e.g. R^a R^b = R^{a+b} on complete-rotation networks), then
+      // retry against the new stack top so cascades collapse fully.
+      // Restricted to super generators so nucleus algebra stays
+      // recognizable.
+      if (Gens[Top].Kind != GeneratorKind::Super ||
+          Gens[Cur].Kind != GeneratorKind::Super)
+        break;
+      std::optional<GenIndex> Folded = Gens.findByAction(Product);
+      if (!Folded)
+        break;
+      Stack.pop_back();
+      Cur = *Folded;
+    }
+    if (!Consumed)
+      Stack.push_back(Cur);
+  }
+
+  GeneratorPath Result(std::move(Stack));
+  assert(Result.netEffect(Net) == Path.netEffect(Net) &&
+         "simplification changed the path's effect");
+  return Result;
+}

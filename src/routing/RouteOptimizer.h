@@ -1,0 +1,33 @@
+//===- routing/RouteOptimizer.h - Peephole path simplification -*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Peephole simplification of generator paths. Lifted routes (Theorems
+/// 1-3) concatenate per-dimension templates, which often leaves adjacent
+/// inverse pairs -- the trailing B^-1 of one dimension against the leading
+/// B of the next when consecutive star hops touch the same box (e.g.
+/// "... S2 S2 ..." on a macro-star). Cancelling them never changes the
+/// endpoint and strictly shortens the path; on complete-rotation hosts,
+/// adjacent rotations additionally fold into a single R^{a+b} link.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_ROUTING_ROUTEOPTIMIZER_H
+#define SCG_ROUTING_ROUTEOPTIMIZER_H
+
+#include "routing/Path.h"
+
+namespace scg {
+
+/// Returns an endpoint-equivalent path with adjacent inverse pairs
+/// cancelled and adjacent same-family rotations folded (when the folded
+/// rotation is a link of \p Net). Idempotent.
+GeneratorPath simplifyPath(const SuperCayleyGraph &Net,
+                           const GeneratorPath &Path);
+
+} // namespace scg
+
+#endif // SCG_ROUTING_ROUTEOPTIMIZER_H

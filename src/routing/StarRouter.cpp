@@ -1,0 +1,68 @@
+//===- routing/StarRouter.cpp - Optimal star-graph routing ---------------===//
+
+#include "routing/StarRouter.h"
+
+#include <cassert>
+
+using namespace scg;
+
+/// Greedily sorts \p C to the identity by right-multiplying star generators;
+/// appends the dimension of every move to \p Dims. After return,
+/// C o T_{Dims[0]} o ... o T_{Dims.back()} = identity.
+static void sortToIdentity(Permutation C, std::vector<unsigned> &Dims) {
+  unsigned K = C.size();
+  auto ApplyT = [&C](unsigned J) {
+    // Right multiplication by T_J exchanges the entries at positions 0 and
+    // J-1 of the one-line word.
+    std::vector<uint8_t> Word(C.oneLine());
+    std::swap(Word[0], Word[J - 1]);
+    C = Permutation::fromOneLine(std::move(Word));
+  };
+
+  while (true) {
+    uint8_t Front = C[0];
+    if (Front != 0) {
+      // Send the front symbol to its home position (symbol s lives at
+      // position s); this is dimension s+1 in the paper's 1-based indexing.
+      unsigned J = unsigned(Front) + 1;
+      Dims.push_back(J);
+      ApplyT(J);
+      continue;
+    }
+    // Front is home: open the next nontrivial cycle, if any.
+    unsigned P = 1;
+    while (P != K && C[P] == P)
+      ++P;
+    if (P == K)
+      return; // Identity reached.
+    Dims.push_back(P + 1);
+    ApplyT(P + 1);
+  }
+}
+
+std::vector<unsigned> scg::starWordForPermutation(const Permutation &P) {
+  // Sorting C = P^-1 to the identity yields a word whose product is
+  // C^-1 = P.
+  std::vector<unsigned> Dims;
+  sortToIdentity(P.inverse(), Dims);
+  assert(Dims.size() == starDistance(P) && "greedy route is not optimal");
+  return Dims;
+}
+
+std::vector<unsigned> scg::starRouteDimensions(const Permutation &Src,
+                                               const Permutation &Dst) {
+  return starWordForPermutation(Src.inverse().compose(Dst));
+}
+
+unsigned scg::starDistance(const Permutation &P) {
+  unsigned Displaced = P.numDisplaced();
+  unsigned Cycles = P.nontrivialCycles().size();
+  if (Displaced == 0)
+    return 0;
+  bool FrontDisplaced = (P[0] != 0);
+  return Displaced + Cycles - (FrontDisplaced ? 2 : 0);
+}
+
+unsigned scg::starDistance(const Permutation &Src, const Permutation &Dst) {
+  return starDistance(Src.inverse().compose(Dst));
+}

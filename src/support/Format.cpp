@@ -1,0 +1,70 @@
+//===- support/Format.cpp - Small string formatting helpers --------------===//
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+
+using namespace scg;
+
+std::string scg::padLeft(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string scg::padRight(const std::string &S, unsigned Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string scg::formatDouble(double Value, unsigned Digits) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Digits) << Value;
+  return OS.str();
+}
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<unsigned> Widths(NumCols, 0);
+  auto Widen = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max<unsigned>(Widths[I], Row[I].size());
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  std::ostringstream OS;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      if (I != 0)
+        OS << "  ";
+      OS << padRight(Row[I], Widths[I]);
+    }
+    OS << '\n';
+  };
+  if (!Header.empty()) {
+    Emit(Header);
+    unsigned Total = 0;
+    for (size_t I = 0; I != NumCols; ++I)
+      Total += Widths[I] + (I == 0 ? 0 : 2);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return OS.str();
+}

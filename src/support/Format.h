@@ -1,0 +1,91 @@
+//===- support/Format.h - Small string formatting helpers ------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny string-building helpers shared across the library: joining ranges,
+/// padding cells for ASCII tables, and a fixed-width table printer used by
+/// the benchmark harnesses to emit the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_SUPPORT_FORMAT_H
+#define SCG_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace scg {
+
+/// Joins the elements of \p Items with \p Sep using operator<<.
+template <typename Range>
+std::string join(const Range &Items, const std::string &Sep) {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &Item : Items) {
+    if (!First)
+      OS << Sep;
+    OS << Item;
+    First = false;
+  }
+  return OS.str();
+}
+
+/// Left-pads \p S with spaces to width \p Width (no-op if already wider).
+std::string padLeft(const std::string &S, unsigned Width);
+
+/// Right-pads \p S with spaces to width \p Width (no-op if already wider).
+std::string padRight(const std::string &S, unsigned Width);
+
+/// Formats \p Value with \p Digits digits after the decimal point.
+std::string formatDouble(double Value, unsigned Digits);
+
+/// A simple fixed-width ASCII table accumulated row by row and rendered with
+/// per-column widths sized to the widest cell. Used by the bench binaries to
+/// print the reproduced paper tables.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row; the column count may differ from the header (the
+  /// table is rendered with the maximum column count seen).
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table, header first, followed by a separator rule.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// SplitMix64: tiny deterministic RNG used by randomized property tests and
+/// workload generators. Deterministic across platforms, unlike std::mt19937's
+/// distributions.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace scg
+
+#endif // SCG_SUPPORT_FORMAT_H

@@ -1,0 +1,167 @@
+//===- tests/AllPortScheduleTest.cpp - Theorems 4-5 tests ----------------===//
+
+#include "emulation/AllPortSchedule.h"
+
+#include "emulation/FigureOne.h"
+
+#include <gtest/gtest.h>
+
+using namespace scg;
+
+namespace {
+
+struct BoxParams {
+  NetworkKind Kind;
+  unsigned L, N;
+};
+
+std::string paramName(const testing::TestParamInfo<BoxParams> &Info) {
+  std::string Name = networkKindName(Info.param.Kind) + "_" +
+                     std::to_string(Info.param.L) + "_" +
+                     std::to_string(Info.param.N);
+  // gtest parameter names must be alphanumeric.
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+class AllPortBoxSchedule : public testing::TestWithParam<BoxParams> {};
+
+TEST_P(AllPortBoxSchedule, ConstructiveMeetsPaperBound) {
+  BoxParams P = GetParam();
+  SuperCayleyGraph Net = SuperCayleyGraph::create(P.Kind, P.L, P.N);
+  AllPortSchedule Schedule = buildAllPortSchedule(Net);
+  EXPECT_TRUE(validateAllPortSchedule(Net, Schedule)) << Net.name();
+  unsigned Bound = paperAllPortSlowdownBound(Net);
+  unsigned Lb = allPortLowerBound(Net);
+  // The MIS(2,2)-style corner where the link-demand bound exceeds the
+  // paper's constant is documented in EXPERIMENTS.md; everywhere else the
+  // constructive schedule meets the claimed max(2n, l+1) / max(2n, l+2).
+  unsigned Expected = std::max(Bound, Lb);
+  EXPECT_LE(Schedule.Makespan, Expected + 1) << Net.name();
+  if (Schedule.Makespan > Bound) {
+    EXPECT_TRUE(P.Kind == NetworkKind::MacroIS ||
+                P.Kind == NetworkKind::CompleteRotationIS)
+        << Net.name() << " exceeded the Theorem 4 bound";
+  }
+  EXPECT_GE(Schedule.Makespan, Lb) << Net.name();
+}
+
+TEST_P(AllPortBoxSchedule, GreedyIsValid) {
+  BoxParams P = GetParam();
+  SuperCayleyGraph Net = SuperCayleyGraph::create(P.Kind, P.L, P.N);
+  AllPortSchedule Schedule = buildAllPortScheduleGreedy(Net);
+  EXPECT_TRUE(validateAllPortSchedule(Net, Schedule)) << Net.name();
+  EXPECT_GE(Schedule.Makespan, allPortLowerBound(Net));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllPortBoxSchedule,
+    testing::Values(
+        BoxParams{NetworkKind::MacroStar, 2, 2},
+        BoxParams{NetworkKind::MacroStar, 2, 3},
+        BoxParams{NetworkKind::MacroStar, 3, 2},
+        BoxParams{NetworkKind::MacroStar, 4, 3},
+        BoxParams{NetworkKind::MacroStar, 5, 3},
+        BoxParams{NetworkKind::MacroStar, 6, 2},
+        BoxParams{NetworkKind::MacroStar, 7, 3},
+        BoxParams{NetworkKind::MacroStar, 3, 5},
+        BoxParams{NetworkKind::MacroStar, 10, 3},
+        BoxParams{NetworkKind::CompleteRotationStar, 2, 2},
+        BoxParams{NetworkKind::CompleteRotationStar, 3, 3},
+        BoxParams{NetworkKind::CompleteRotationStar, 4, 3},
+        BoxParams{NetworkKind::CompleteRotationStar, 5, 3},
+        BoxParams{NetworkKind::CompleteRotationStar, 6, 4},
+        BoxParams{NetworkKind::MacroIS, 2, 2},
+        BoxParams{NetworkKind::MacroIS, 3, 2},
+        BoxParams{NetworkKind::MacroIS, 4, 3},
+        BoxParams{NetworkKind::MacroIS, 5, 3},
+        BoxParams{NetworkKind::MacroIS, 2, 4},
+        BoxParams{NetworkKind::CompleteRotationIS, 2, 2},
+        BoxParams{NetworkKind::CompleteRotationIS, 3, 3},
+        BoxParams{NetworkKind::CompleteRotationIS, 4, 3},
+        BoxParams{NetworkKind::CompleteRotationIS, 5, 2}),
+    paramName);
+
+TEST(AllPortSchedule, Figure1aMacroStar43) {
+  // Figure 1a: emulating a 13-star on MS(4,3): 6 steps.
+  SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, 4, 3);
+  AllPortSchedule Schedule = buildAllPortSchedule(Ms);
+  ASSERT_TRUE(validateAllPortSchedule(Ms, Schedule));
+  EXPECT_EQ(Schedule.Makespan, 6u);
+  EXPECT_EQ(paperAllPortSlowdownBound(Ms), 6u);
+  ScheduleStats Stats = computeScheduleStats(Ms, Schedule);
+  // 3 direct + 9 three-hop dimensions = 30 transmissions over 6x6 slots.
+  EXPECT_EQ(Stats.Transmissions, 30u);
+  EXPECT_EQ(Stats.Slots, 36u);
+}
+
+TEST(AllPortSchedule, Figure1bMacroStar53) {
+  // Figure 1b: emulating a 16-star on MS(5,3): 6 steps, 93% average
+  // utilization, links fully used during steps 1 to 5.
+  SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, 5, 3);
+  AllPortSchedule Schedule = buildAllPortSchedule(Ms);
+  ASSERT_TRUE(validateAllPortSchedule(Ms, Schedule));
+  EXPECT_EQ(Schedule.Makespan, 6u);
+  ScheduleStats Stats = computeScheduleStats(Ms, Schedule);
+  EXPECT_EQ(Stats.Transmissions, 3u + 12 * 3);
+  EXPECT_EQ(Stats.Slots, 42u);
+  EXPECT_NEAR(Stats.AverageUtilization, 39.0 / 42.0, 1e-9);
+}
+
+TEST(AllPortSchedule, Figure1CompleteRsVariants) {
+  for (auto [L, N] : {std::pair{4u, 3u}, {5u, 3u}}) {
+    SuperCayleyGraph Net =
+        SuperCayleyGraph::create(NetworkKind::CompleteRotationStar, L, N);
+    AllPortSchedule Schedule = buildAllPortSchedule(Net);
+    ASSERT_TRUE(validateAllPortSchedule(Net, Schedule)) << Net.name();
+    EXPECT_EQ(Schedule.Makespan, 6u) << Net.name();
+  }
+}
+
+TEST(AllPortSchedule, StarIsOneStep) {
+  SuperCayleyGraph Star = SuperCayleyGraph::star(7);
+  AllPortSchedule Schedule = buildAllPortSchedule(Star);
+  EXPECT_TRUE(validateAllPortSchedule(Star, Schedule));
+  EXPECT_EQ(Schedule.Makespan, 1u);
+  ScheduleStats Stats = computeScheduleStats(Star, Schedule);
+  EXPECT_EQ(Stats.FullyUsedSteps, 1u);
+  EXPECT_DOUBLE_EQ(Stats.AverageUtilization, 1.0);
+}
+
+TEST(AllPortSchedule, InsertionSelectionIsTwoSteps) {
+  // Theorem 2 under all-port: every dimension in two steps, no conflicts.
+  SuperCayleyGraph Is = SuperCayleyGraph::insertionSelection(8);
+  AllPortSchedule Schedule = buildAllPortSchedule(Is);
+  EXPECT_TRUE(validateAllPortSchedule(Is, Schedule));
+  EXPECT_EQ(Schedule.Makespan, 2u);
+  EXPECT_EQ(paperAllPortSlowdownBound(Is), 2u);
+}
+
+TEST(AllPortSchedule, GreedyHandlesRotationStar) {
+  // No paper bound for RS; the greedy schedule must still be conflict-free.
+  SuperCayleyGraph Rs = SuperCayleyGraph::create(NetworkKind::RotationStar, 4, 2);
+  AllPortSchedule Schedule = buildAllPortScheduleGreedy(Rs);
+  EXPECT_TRUE(validateAllPortSchedule(Rs, Schedule));
+  EXPECT_GE(Schedule.Makespan, allPortLowerBound(Rs));
+}
+
+TEST(AllPortSchedule, LowerBoundMatchesPaperFormulaOnMs) {
+  // For MS, link demand gives exactly max(2n, l+1).
+  for (auto [L, N] : {std::pair{4u, 3u}, {5u, 3u}, {7u, 2u}, {2u, 4u}}) {
+    SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, L, N);
+    EXPECT_EQ(allPortLowerBound(Ms), std::max(2 * N, L + 1)) << Ms.name();
+  }
+}
+
+TEST(FigureOne, RenderContainsScheduleGrid) {
+  SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, 4, 3);
+  std::string Text = renderFigureOne(Ms);
+  EXPECT_NE(Text.find("13-star on MS(4,3)"), std::string::npos);
+  EXPECT_NE(Text.find("j=13"), std::string::npos);
+  EXPECT_NE(Text.find("makespan 6"), std::string::npos);
+  EXPECT_NE(Text.find("S2"), std::string::npos);
+}

@@ -1,0 +1,96 @@
+//===- tests/CollectivesTest.cpp - Broadcast/scatter/gather tests --------===//
+
+#include "comm/Collectives.h"
+
+#include "graph/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace scg;
+
+namespace {
+
+struct Fixture {
+  ExplicitScg Net;
+  BroadcastTree Tree;
+  explicit Fixture(SuperCayleyGraph Scg) : Net(std::move(Scg)), Tree(Net) {}
+};
+
+} // namespace
+
+TEST(Collectives, AllPortBroadcastFinishesAtTreeHeight) {
+  for (auto Scg : {SuperCayleyGraph::star(5),
+                   SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2)}) {
+    Fixture F(Scg);
+    CollectiveResult R = simulateBroadcast(F.Net, F.Tree);
+    EXPECT_EQ(R.Steps, F.Tree.height()) << Scg.name();
+    EXPECT_DOUBLE_EQ(R.Ratio, 1.0) << Scg.name();
+  }
+}
+
+TEST(Collectives, BroadcastHeightEqualsDiameter) {
+  Fixture F(SuperCayleyGraph::insertionSelection(5));
+  DistanceStats Stats = vertexTransitiveStats(F.Net.toGraph());
+  CollectiveResult R = simulateBroadcast(F.Net, F.Tree);
+  EXPECT_EQ(R.Steps, Stats.Diameter);
+}
+
+TEST(Collectives, SinglePortBroadcastIsSlowerButBounded) {
+  Fixture F(SuperCayleyGraph::star(5));
+  CollectiveResult AllPort = simulateBroadcast(F.Net, F.Tree);
+  CollectiveResult OnePort =
+      simulateBroadcast(F.Net, F.Tree, CommModel::SinglePort);
+  EXPECT_GE(OnePort.Steps, AllPort.Steps);
+  // A node forwards its <= degree children sequentially: at most a
+  // degree-factor slowdown.
+  EXPECT_LE(OnePort.Steps, AllPort.Steps * F.Net.degree());
+}
+
+TEST(Collectives, TreePathsReachTheirNodes) {
+  Fixture F(SuperCayleyGraph::create(NetworkKind::MacroIS, 2, 2));
+  for (NodeId W = 0; W < F.Net.numNodes(); W += 11) {
+    NodeId At = 0;
+    for (GenIndex G : F.Tree.pathFromRoot(W))
+      At = F.Net.next(At, G);
+    EXPECT_EQ(At, W);
+  }
+}
+
+TEST(Collectives, ScatterMeetsSendBoundWithinConstant) {
+  for (auto Scg : {SuperCayleyGraph::star(5),
+                   SuperCayleyGraph::insertionSelection(5),
+                   SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2)}) {
+    Fixture F(Scg);
+    CollectiveResult R = simulateScatter(F.Net, F.Tree);
+    EXPECT_GE(R.Steps, R.LowerBound) << Scg.name();
+    EXPECT_LE(R.Ratio, 3.0) << Scg.name();
+  }
+}
+
+TEST(Collectives, GatherMeetsReceiveBoundWithinConstant) {
+  for (auto Scg : {SuperCayleyGraph::star(5),
+                   SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2)}) {
+    Fixture F(Scg);
+    CollectiveResult R = simulateGather(F.Net, F.Tree);
+    EXPECT_GE(R.Steps, R.LowerBound) << Scg.name();
+    EXPECT_LE(R.Ratio, 3.5) << Scg.name();
+  }
+}
+
+TEST(Collectives, AllReduceSumsPhases) {
+  Fixture F(SuperCayleyGraph::star(5));
+  CollectiveResult Gather = simulateGather(F.Net, F.Tree);
+  CollectiveResult Broadcast = simulateBroadcast(F.Net, F.Tree);
+  CollectiveResult AllReduce = simulateAllReduce(F.Net, F.Tree);
+  EXPECT_EQ(AllReduce.Steps, Gather.Steps + Broadcast.Steps);
+  EXPECT_GE(AllReduce.Steps, AllReduce.LowerBound);
+  EXPECT_LE(AllReduce.Ratio, 3.5);
+}
+
+TEST(Collectives, SinglePortScatterBoundIsNMinusOne) {
+  Fixture F(SuperCayleyGraph::star(4));
+  CollectiveResult R =
+      simulateScatter(F.Net, F.Tree, CommModel::SinglePort);
+  EXPECT_EQ(R.LowerBound, F.Net.numNodes() - 1);
+  EXPECT_GE(R.Steps, R.LowerBound);
+}

@@ -1,0 +1,75 @@
+//===- tests/CycleEmbeddingTest.cpp - Ring embedding tests ---------------===//
+
+#include "embedding/CycleEmbedding.h"
+
+#include "embedding/PathTemplates.h"
+#include "perm/Lehmer.h"
+
+#include <gtest/gtest.h>
+
+using namespace scg;
+
+TEST(CycleEmbedding, RingGraphShape) {
+  Graph G = ringGraph(6);
+  EXPECT_EQ(G.numNodes(), 6u);
+  EXPECT_EQ(G.numDirectedEdges(), 12u);
+  EXPECT_TRUE(G.isRegular());
+  EXPECT_TRUE(G.isUndirected());
+}
+
+TEST(CycleEmbedding, RingIntoTnIsDilationOne) {
+  for (unsigned K = 3; K <= 6; ++K) {
+    SuperCayleyGraph Tn = SuperCayleyGraph::transpositionNetwork(K);
+    Graph Guest = ringGraph(factorial(K));
+    EmbeddingMetrics M = measureEmbedding(Guest, embedRingIntoTn(Tn));
+    EXPECT_TRUE(M.Valid) << "k=" << K;
+    EXPECT_EQ(M.Load, 1u) << "k=" << K;
+    EXPECT_DOUBLE_EQ(M.Expansion, 1.0) << "k=" << K;
+    EXPECT_EQ(M.Dilation, 1u) << "k=" << K;
+    EXPECT_EQ(M.Congestion, 1u) << "k=" << K;
+  }
+}
+
+TEST(CycleEmbedding, RingIntoStarIsDilationThree) {
+  for (unsigned K = 3; K <= 6; ++K) {
+    SuperCayleyGraph Star = SuperCayleyGraph::star(K);
+    Graph Guest = ringGraph(factorial(K));
+    EmbeddingMetrics M = measureEmbedding(Guest, embedRingIntoStar(Star));
+    EXPECT_TRUE(M.Valid) << "k=" << K;
+    EXPECT_EQ(M.Load, 1u) << "k=" << K;
+    EXPECT_EQ(M.Dilation, 3u) << "k=" << K;
+  }
+}
+
+TEST(CycleEmbedding, HamiltonianCycleVisitsEveryNodeOnce) {
+  SuperCayleyGraph Tn = SuperCayleyGraph::transpositionNetwork(5);
+  Embedding E = embedRingIntoTn(Tn);
+  std::set<std::vector<uint8_t>> Seen;
+  for (const Permutation &P : E.NodeMap)
+    Seen.insert(P.oneLine());
+  EXPECT_EQ(Seen.size(), factorial(5));
+}
+
+TEST(CycleEmbedding, ComposesIntoMacroStar) {
+  // Ring -> TN -> MS(2,2): O(1) dilation ring in a super Cayley graph.
+  SuperCayleyGraph Tn = SuperCayleyGraph::transpositionNetwork(5);
+  SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2);
+  Graph Guest = ringGraph(factorial(5));
+  PathTemplateMap Map = PathTemplateMap::create(Tn, Ms);
+  EmbeddingMetrics M =
+      measureEmbedding(Guest, composeEmbedding(embedRingIntoTn(Tn), Map));
+  EXPECT_TRUE(M.Valid);
+  EXPECT_EQ(M.Load, 1u);
+  EXPECT_LE(M.Dilation, 5u);
+}
+
+TEST(CycleEmbedding, ComposesIntoIs) {
+  SuperCayleyGraph Star = SuperCayleyGraph::star(5);
+  SuperCayleyGraph Is = SuperCayleyGraph::insertionSelection(5);
+  Graph Guest = ringGraph(factorial(5));
+  PathTemplateMap Map = PathTemplateMap::create(Star, Is);
+  EmbeddingMetrics M = measureEmbedding(
+      Guest, composeEmbedding(embedRingIntoStar(Star), Map));
+  EXPECT_TRUE(M.Valid);
+  EXPECT_LE(M.Dilation, 6u);
+}

@@ -1,0 +1,97 @@
+//===- tests/FaultsTest.cpp - Fault injection tests ----------------------===//
+
+#include "graph/Faults.h"
+
+#include "graph/Metrics.h"
+#include "networks/Classic.h"
+#include "networks/Explicit.h"
+
+#include <gtest/gtest.h>
+
+using namespace scg;
+
+TEST(Faults, ApplyRemovesFailedLinks) {
+  Graph G(3);
+  G.addUndirectedEdge(0, 1);
+  G.addUndirectedEdge(1, 2);
+  FaultSet Faults;
+  Faults.failLink(0, 1);
+  Graph Out = applyFaults(G, Faults);
+  EXPECT_FALSE(Out.hasEdge(0, 1));
+  EXPECT_FALSE(Out.hasEdge(1, 0));
+  EXPECT_TRUE(Out.hasEdge(1, 2));
+}
+
+TEST(Faults, NodeFaultKillsAllIncidentLinks) {
+  Graph G = mesh2D(2, 2);
+  FaultSet Faults;
+  Faults.failNode(0);
+  Graph Out = applyFaults(G, Faults);
+  EXPECT_EQ(Out.outDegree(0), 0u);
+  EXPECT_FALSE(Out.hasEdge(1, 0));
+}
+
+TEST(Faults, PathGraphDisconnectsOnAnyLinkFault) {
+  Graph G(4);
+  for (NodeId I = 0; I + 1 != 4; ++I)
+    G.addUndirectedEdge(I, I + 1);
+  SingleFaultSweep Sweep = sweepSingleLinkFaults(G);
+  EXPECT_FALSE(Sweep.AlwaysConnected);
+  EXPECT_EQ(Sweep.ScenariosTried, 3u);
+}
+
+TEST(Faults, CycleSurvivesAnySingleLinkFault) {
+  Graph G(6);
+  for (NodeId I = 0; I != 6; ++I)
+    G.addUndirectedEdge(I, (I + 1) % 6);
+  SingleFaultSweep Sweep = sweepSingleLinkFaults(G);
+  EXPECT_TRUE(Sweep.AlwaysConnected);
+  EXPECT_EQ(Sweep.FaultFreeDiameter, 3u);
+  EXPECT_EQ(Sweep.WorstDiameter, 5u); // broken ring becomes a path.
+}
+
+TEST(Faults, StarGraphSurvivesSingleLinkFaults) {
+  // The k-star is (k-1)-connected; one dead link cannot disconnect it and
+  // the diameter grows by at most a small constant.
+  ExplicitScg Net(SuperCayleyGraph::star(5));
+  Graph G = Net.toGraph();
+  SingleFaultSweep Sweep = sweepSingleLinkFaults(G, /*Stride=*/5);
+  EXPECT_TRUE(Sweep.AlwaysConnected);
+  EXPECT_EQ(Sweep.FaultFreeDiameter, 6u);
+  EXPECT_LE(Sweep.WorstDiameter, 8u);
+}
+
+TEST(Faults, MacroStarSurvivesSingleLinkFaults) {
+  ExplicitScg Net(SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2));
+  Graph G = Net.toGraph();
+  SingleFaultSweep Sweep = sweepSingleLinkFaults(G, /*Stride=*/3);
+  EXPECT_TRUE(Sweep.AlwaysConnected);
+  EXPECT_LE(Sweep.WorstDiameter, Sweep.FaultFreeDiameter + 4);
+}
+
+TEST(Faults, InsertionSelectionSurvivesNodeFaults) {
+  ExplicitScg Net(SuperCayleyGraph::insertionSelection(5));
+  Graph G = Net.toGraph();
+  SingleFaultSweep Sweep = sweepSingleNodeFaults(G, /*Stride=*/7);
+  EXPECT_TRUE(Sweep.AlwaysConnected);
+  EXPECT_LE(Sweep.WorstDiameter, Sweep.FaultFreeDiameter + 2);
+}
+
+TEST(Faults, AnalysisCountsHealthyNodes) {
+  Graph G = mesh2D(3, 3);
+  FaultSet Faults;
+  Faults.failNode(4); // the center.
+  FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
+  EXPECT_EQ(Analysis.HealthyNodes, 8u);
+  EXPECT_TRUE(Analysis.Connected); // ring around the center survives.
+  EXPECT_EQ(Analysis.Diameter, 4u);
+}
+
+TEST(Faults, TwoFaultsCanDisconnectDegreeTwoNode) {
+  Graph G = mesh2D(2, 2); // corners have degree 2.
+  FaultSet Faults;
+  Faults.failLink(0, 1);
+  Faults.failLink(0, 2);
+  FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
+  EXPECT_FALSE(Analysis.Connected);
+}

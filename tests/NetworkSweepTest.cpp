@@ -1,0 +1,151 @@
+//===- tests/NetworkSweepTest.cpp - Parameterized class invariants -------===//
+//
+// Property-style sweep across every super Cayley graph class and a grid of
+// (l, n) parameters: degree formulas, symmetry, generator-set structure,
+// group generation (strong connectivity), and ball-arrangement-game
+// consistency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BallArrangementGame.h"
+#include "perm/GroupOrder.h"
+#include "perm/Lehmer.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace scg;
+
+namespace {
+
+struct SweepParams {
+  NetworkKind Kind;
+  unsigned L, N;
+};
+
+std::string sweepName(const testing::TestParamInfo<SweepParams> &Info) {
+  std::string Name = networkKindName(Info.param.Kind) + "_" +
+                     std::to_string(Info.param.L) + "_" +
+                     std::to_string(Info.param.N);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+/// The paper's degree formula per class ("the number of generators in its
+/// definition").
+unsigned expectedDegree(NetworkKind Kind, unsigned L, unsigned N) {
+  switch (Kind) {
+  case NetworkKind::MacroStar:
+  case NetworkKind::MacroRotator:
+    return N + (L - 1);
+  case NetworkKind::RotationStar:
+  case NetworkKind::RotationRotator:
+    return N + (L == 2 ? 1 : 2);
+  case NetworkKind::CompleteRotationStar:
+  case NetworkKind::CompleteRotationRotator:
+    return N + (L - 1);
+  case NetworkKind::MacroIS:
+    return 2 * N + (L - 1);
+  case NetworkKind::RotationIS:
+    return 2 * N + (L == 2 ? 1 : 2);
+  case NetworkKind::CompleteRotationIS:
+    return 2 * N + (L - 1);
+  default:
+    return 0;
+  }
+}
+
+} // namespace
+
+class NetworkSweep : public testing::TestWithParam<SweepParams> {
+protected:
+  SuperCayleyGraph net() const {
+    return SuperCayleyGraph::create(GetParam().Kind, GetParam().L,
+                                    GetParam().N);
+  }
+};
+
+TEST_P(NetworkSweep, DegreeMatchesFormula) {
+  SuperCayleyGraph Net = net();
+  EXPECT_EQ(Net.degree(),
+            expectedDegree(GetParam().Kind, GetParam().L, GetParam().N))
+      << Net.name();
+}
+
+TEST_P(NetworkSweep, SymmetryMatchesDirectedness) {
+  SuperCayleyGraph Net = net();
+  EXPECT_EQ(Net.generators().isSymmetric(), Net.isUndirected()) << Net.name();
+}
+
+TEST_P(NetworkSweep, GeneratorsActOnKSymbols) {
+  SuperCayleyGraph Net = net();
+  EXPECT_EQ(Net.generators().numSymbols(), Net.numSymbols());
+  EXPECT_EQ(Net.numSymbols(), GetParam().L * GetParam().N + 1);
+  for (const Generator &G : Net.generators())
+    EXPECT_FALSE(G.Sigma.isIdentity()) << Net.name() << " " << G.Name;
+}
+
+TEST_P(NetworkSweep, NucleusGeneratorsTouchOnlyTheFirstBox) {
+  SuperCayleyGraph Net = net();
+  unsigned N = Net.ballsPerBox();
+  for (const Generator &G : Net.generators()) {
+    if (G.Kind != GeneratorKind::Nucleus)
+      continue;
+    // A nucleus generator permutes only positions 1..n+1 (0-based 0..n).
+    for (unsigned P = N + 1; P != Net.numSymbols(); ++P)
+      EXPECT_EQ(G.Sigma[P], P) << Net.name() << " " << G.Name;
+  }
+}
+
+TEST_P(NetworkSweep, SuperGeneratorsFixTheOutsideBall) {
+  SuperCayleyGraph Net = net();
+  for (const Generator &G : Net.generators()) {
+    if (G.Kind != GeneratorKind::Super)
+      continue;
+    EXPECT_EQ(G.Sigma[0], 0u) << Net.name() << " " << G.Name;
+  }
+}
+
+TEST_P(NetworkSweep, GeneratesTheFullSymmetricGroup) {
+  SuperCayleyGraph Net = net();
+  std::vector<Permutation> Actions;
+  for (const Generator &G : Net.generators())
+    Actions.push_back(G.Sigma);
+  EXPECT_TRUE(generatesSymmetricGroup(Actions)) << Net.name();
+}
+
+TEST_P(NetworkSweep, GamePlayIsReversibleWhenUndirected) {
+  SuperCayleyGraph Net = net();
+  if (!Net.isUndirected())
+    return;
+  SplitMix64 Rng(GetParam().L * 31 + GetParam().N);
+  BallArrangementGame Game(Net, Permutation::identity(Net.numSymbols()));
+  for (int Move = 0; Move != 12; ++Move)
+    Game.play(Rng.nextBelow(Net.degree()));
+  for (int Move = 0; Move != 12; ++Move)
+    EXPECT_TRUE(Game.undo());
+  EXPECT_TRUE(Game.isSolved());
+}
+
+namespace {
+
+std::vector<SweepParams> sweepGrid() {
+  std::vector<SweepParams> Grid;
+  for (NetworkKind Kind :
+       {NetworkKind::MacroStar, NetworkKind::RotationStar,
+        NetworkKind::CompleteRotationStar, NetworkKind::MacroRotator,
+        NetworkKind::RotationRotator, NetworkKind::CompleteRotationRotator,
+        NetworkKind::MacroIS, NetworkKind::RotationIS,
+        NetworkKind::CompleteRotationIS})
+    for (unsigned L : {2u, 3u, 4u})
+      for (unsigned N : {1u, 2u, 3u})
+        Grid.push_back({Kind, L, N});
+  return Grid;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, NetworkSweep,
+                         testing::ValuesIn(sweepGrid()), sweepName);

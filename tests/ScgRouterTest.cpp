@@ -1,0 +1,98 @@
+//===- tests/ScgRouterTest.cpp - Lifted routing tests --------------------===//
+
+#include "emulation/ScgRouter.h"
+
+#include "emulation/SdcEmulation.h"
+#include "perm/Lehmer.h"
+#include "routing/BagSolver.h"
+#include "routing/StarRouter.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace scg;
+
+namespace {
+
+std::vector<SuperCayleyGraph> hosts() {
+  std::vector<SuperCayleyGraph> Nets;
+  Nets.push_back(SuperCayleyGraph::star(5));
+  Nets.push_back(SuperCayleyGraph::insertionSelection(5));
+  Nets.push_back(SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2));
+  Nets.push_back(
+      SuperCayleyGraph::create(NetworkKind::CompleteRotationStar, 2, 2));
+  Nets.push_back(SuperCayleyGraph::create(NetworkKind::MacroIS, 2, 2));
+  Nets.push_back(SuperCayleyGraph::create(NetworkKind::RotationIS, 2, 2));
+  return Nets;
+}
+
+} // namespace
+
+TEST(ScgRouter, RoutesConnectEndpoints) {
+  SplitMix64 Rng(3);
+  for (const SuperCayleyGraph &Net : hosts()) {
+    for (int Trial = 0; Trial != 50; ++Trial) {
+      Permutation A = unrankPermutation(Rng.nextBelow(factorial(5)), 5);
+      Permutation B = unrankPermutation(Rng.nextBelow(factorial(5)), 5);
+      GeneratorPath Path = routeViaStarEmulation(Net, A, B);
+      EXPECT_TRUE(Path.connects(Net, A, B)) << Net.name();
+    }
+  }
+}
+
+TEST(ScgRouter, LengthBoundedBySlowdownTimesStarDistance) {
+  SplitMix64 Rng(17);
+  for (const SuperCayleyGraph &Net : hosts()) {
+    unsigned Slowdown = analyzeSdcEmulation(Net).Slowdown;
+    for (int Trial = 0; Trial != 50; ++Trial) {
+      Permutation A = unrankPermutation(Rng.nextBelow(factorial(5)), 5);
+      Permutation B = unrankPermutation(Rng.nextBelow(factorial(5)), 5);
+      GeneratorPath Path = routeViaStarEmulation(Net, A, B);
+      EXPECT_LE(Path.length(), Slowdown * starDistance(A, B)) << Net.name();
+    }
+  }
+}
+
+TEST(ScgRouter, NeverBeatsOptimalAndStaysBounded) {
+  // The lifted route can be longer than the exact shortest path (hosts
+  // have super links that shortcut many star hops at once) but can never
+  // be shorter, and is always within the global emulation bound.
+  SplitMix64 Rng(29);
+  for (const SuperCayleyGraph &Net : hosts()) {
+    unsigned Bound = liftedRouteBound(Net);
+    for (int Trial = 0; Trial != 12; ++Trial) {
+      Permutation A = unrankPermutation(Rng.nextBelow(factorial(5)), 5);
+      Permutation B = unrankPermutation(Rng.nextBelow(factorial(5)), 5);
+      GeneratorPath Lifted = routeViaStarEmulation(Net, A, B);
+      std::optional<GeneratorPath> Optimal = solveBag(Net, A, B);
+      ASSERT_TRUE(Optimal);
+      EXPECT_GE(Lifted.length(), Optimal->length()) << Net.name();
+      EXPECT_LE(Lifted.length(), Bound) << Net.name();
+    }
+  }
+}
+
+TEST(ScgRouter, StarHostGivesOptimalRoutes) {
+  SuperCayleyGraph Star = SuperCayleyGraph::star(6);
+  SplitMix64 Rng(31);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    Permutation A = unrankPermutation(Rng.nextBelow(factorial(6)), 6);
+    Permutation B = unrankPermutation(Rng.nextBelow(factorial(6)), 6);
+    GeneratorPath Path = routeViaStarEmulation(Star, A, B);
+    EXPECT_EQ(Path.length(), starDistance(A, B));
+  }
+}
+
+TEST(ScgRouter, LiftedRouteBoundFormula) {
+  SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2);
+  // slowdown 3 * star diameter 6 = 18.
+  EXPECT_EQ(liftedRouteBound(Ms), 18u);
+}
+
+TEST(ScgRouter, PathRendering) {
+  SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2);
+  Permutation Id = Permutation::identity(5);
+  Permutation Dst = Id.compose(makeTransposition(5, 4).Sigma);
+  GeneratorPath Path = routeViaStarEmulation(Ms, Id, Dst);
+  EXPECT_EQ(Path.str(Ms), "S2 T2 S2");
+}

@@ -1,0 +1,112 @@
+//===- tests/SimulatorPropertyTest.cpp - Conservation properties ---------===//
+//
+// Randomized invariants of the packet simulator across networks and
+// models: packets are conserved, transmissions equal total hop counts,
+// completion dominates the longest route and the per-link load, and the
+// all-port model is never slower than single-port.
+//
+//===----------------------------------------------------------------------===//
+
+#include "comm/Simulator.h"
+
+#include "perm/Lehmer.h"
+#include "routing/BagSolver.h"
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace scg;
+
+namespace {
+
+struct Workload {
+  std::vector<std::pair<NodeId, std::vector<GenIndex>>> Packets;
+  uint64_t TotalHops = 0;
+  unsigned LongestRoute = 0;
+  uint64_t MaxLinkLoad = 0;
+};
+
+/// Random valid routes (random generator words) from random sources.
+Workload makeWorkload(const ExplicitScg &Net, unsigned Count,
+                      uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  Workload W;
+  std::map<std::pair<NodeId, GenIndex>, uint64_t> Load;
+  for (unsigned P = 0; P != Count; ++P) {
+    NodeId Src = Rng.nextBelow(Net.numNodes());
+    unsigned Len = 1 + Rng.nextBelow(6);
+    std::vector<GenIndex> Route;
+    NodeId At = Src;
+    for (unsigned H = 0; H != Len; ++H) {
+      GenIndex G = Rng.nextBelow(Net.degree());
+      Route.push_back(G);
+      W.MaxLinkLoad = std::max(W.MaxLinkLoad, ++Load[{At, G}]);
+      At = Net.next(At, G);
+    }
+    W.TotalHops += Len;
+    W.LongestRoute = std::max(W.LongestRoute, Len);
+    W.Packets.push_back({Src, std::move(Route)});
+  }
+  return W;
+}
+
+SimulationResult runWorkload(const ExplicitScg &Net, const Workload &W,
+                             CommModel Model) {
+  NetworkSimulator Sim(Net, Model);
+  for (const auto &[Src, Route] : W.Packets)
+    Sim.injectPacket(Src, Route);
+  return Sim.run(/*MaxSteps=*/1000000);
+}
+
+} // namespace
+
+TEST(SimulatorProperty, ConservationAcrossModels) {
+  for (auto Scg : {SuperCayleyGraph::star(5),
+                   SuperCayleyGraph::create(NetworkKind::MacroIS, 2, 2),
+                   SuperCayleyGraph::create(NetworkKind::MacroRotator, 2, 2)}) {
+    ExplicitScg Net(Scg);
+    for (uint64_t Seed : {1ull, 2ull, 3ull}) {
+      Workload W = makeWorkload(Net, 300, Seed);
+      for (CommModel Model :
+           {CommModel::AllPort, CommModel::SinglePort,
+            CommModel::SingleDimension}) {
+        SimulationResult R = runWorkload(Net, W, Model);
+        ASSERT_TRUE(R.Completed) << Scg.name();
+        EXPECT_EQ(R.Delivered, W.Packets.size()) << Scg.name();
+        EXPECT_EQ(R.Transmissions, W.TotalHops) << Scg.name();
+        EXPECT_GE(R.Steps, W.LongestRoute) << Scg.name();
+      }
+    }
+  }
+}
+
+TEST(SimulatorProperty, AllPortDominatesSinglePort) {
+  ExplicitScg Net(SuperCayleyGraph::star(5));
+  for (uint64_t Seed : {11ull, 12ull, 13ull, 14ull}) {
+    Workload W = makeWorkload(Net, 500, Seed);
+    uint64_t AllPort = runWorkload(Net, W, CommModel::AllPort).Steps;
+    uint64_t OnePort = runWorkload(Net, W, CommModel::SinglePort).Steps;
+    EXPECT_LE(AllPort, OnePort);
+  }
+}
+
+TEST(SimulatorProperty, CompletionDominatesLinkLoad) {
+  ExplicitScg Net(SuperCayleyGraph::insertionSelection(5));
+  for (uint64_t Seed : {21ull, 22ull}) {
+    Workload W = makeWorkload(Net, 400, Seed);
+    SimulationResult R = runWorkload(Net, W, CommModel::AllPort);
+    EXPECT_GE(R.Steps, W.MaxLinkLoad);
+  }
+}
+
+TEST(SimulatorProperty, SdcNeverBeatsDegreeTimesFewerSteps) {
+  // Under SDC only one generator fires per step, so completion is at
+  // least the total per-generator demand.
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  Workload W = makeWorkload(Net, 100, 31);
+  SimulationResult Sdc = runWorkload(Net, W, CommModel::SingleDimension);
+  SimulationResult All = runWorkload(Net, W, CommModel::AllPort);
+  EXPECT_GE(Sdc.Steps, All.Steps);
+}

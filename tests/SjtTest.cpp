@@ -1,0 +1,63 @@
+//===- tests/SjtTest.cpp - Steinhaus-Johnson-Trotter tests ---------------===//
+
+#include "perm/SJT.h"
+
+#include "perm/Lehmer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace scg;
+
+TEST(Sjt, EnumeratesAllPermutations) {
+  for (unsigned K = 1; K <= 7; ++K) {
+    std::vector<Permutation> Order = sjtOrder(K);
+    EXPECT_EQ(Order.size(), factorial(K));
+    std::set<std::vector<uint8_t>> Seen;
+    for (const Permutation &P : Order)
+      Seen.insert(P.oneLine());
+    EXPECT_EQ(Seen.size(), factorial(K)) << "duplicates at k=" << K;
+  }
+}
+
+TEST(Sjt, ConsecutiveDifferByAdjacentTransposition) {
+  for (unsigned K = 2; K <= 6; ++K) {
+    SjtEnumerator E(K);
+    Permutation Prev = E.current();
+    while (E.advance()) {
+      const Permutation &Cur = E.current();
+      unsigned Pos = E.lastSwapPosition();
+      ASSERT_LT(Pos + 1, K);
+      // Equal everywhere except the two adjacent slots.
+      for (unsigned P = 0; P != K; ++P) {
+        if (P == Pos || P == Pos + 1)
+          continue;
+        EXPECT_EQ(Prev[P], Cur[P]);
+      }
+      EXPECT_EQ(Prev[Pos], Cur[Pos + 1]);
+      EXPECT_EQ(Prev[Pos + 1], Cur[Pos]);
+      Prev = Cur;
+    }
+  }
+}
+
+TEST(Sjt, StartsAtIdentity) {
+  SjtEnumerator E(5);
+  EXPECT_TRUE(E.current().isIdentity());
+}
+
+TEST(Sjt, KnownOrderForThreeSymbols) {
+  // Plain changes on 3 symbols: 123, 132, 312, 321, 231, 213 (1-based).
+  std::vector<Permutation> Order = sjtOrder(3);
+  const char *Expected[] = {"1 2 3", "1 3 2", "3 1 2",
+                            "3 2 1", "2 3 1", "2 1 3"};
+  ASSERT_EQ(Order.size(), 6u);
+  for (unsigned I = 0; I != 6; ++I)
+    EXPECT_EQ(Order[I].str(), Expected[I]);
+}
+
+TEST(Sjt, SingleSymbolHasOnePermutation) {
+  SjtEnumerator E(1);
+  EXPECT_FALSE(E.advance());
+}

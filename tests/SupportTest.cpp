@@ -1,0 +1,70 @@
+//===- tests/SupportTest.cpp - Support utility tests ---------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace scg;
+
+TEST(Format, Join) {
+  std::vector<int> V{1, 2, 3};
+  EXPECT_EQ(join(V, ", "), "1, 2, 3");
+  EXPECT_EQ(join(std::vector<int>{}, ", "), "");
+  EXPECT_EQ(join(std::vector<std::string>{"x"}, "-"), "x");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+  EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(Format, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+  EXPECT_EQ(formatDouble(0.5, 3), "0.500");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable Table;
+  Table.setHeader({"name", "value"});
+  Table.addRow({"alpha", "1"});
+  Table.addRow({"b", "22"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("name   value"), std::string::npos);
+  EXPECT_NE(Out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(Out.find("b      22"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable Table;
+  Table.setHeader({"a"});
+  Table.addRow({"1", "2", "3"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("1  2  3"), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeaderSkipsRule) {
+  TextTable Table;
+  Table.addRow({"only"});
+  EXPECT_EQ(Table.render(), "only\n");
+}
+
+TEST(SplitMix, IsDeterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix, DiffersAcrossSeeds) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(SplitMix, NextBelowStaysInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
