@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_classic_embeddings"
+  "../bench/bench_classic_embeddings.pdb"
+  "CMakeFiles/bench_classic_embeddings.dir/bench_classic_embeddings.cpp.o"
+  "CMakeFiles/bench_classic_embeddings.dir/bench_classic_embeddings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classic_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_degree_diameter"
+  "../bench/bench_degree_diameter.pdb"
+  "CMakeFiles/bench_degree_diameter.dir/bench_degree_diameter.cpp.o"
+  "CMakeFiles/bench_degree_diameter.dir/bench_degree_diameter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degree_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

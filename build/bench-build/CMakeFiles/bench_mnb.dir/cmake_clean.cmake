@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mnb"
+  "../bench/bench_mnb.pdb"
+  "CMakeFiles/bench_mnb.dir/bench_mnb.cpp.o"
+  "CMakeFiles/bench_mnb.dir/bench_mnb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pipelining"
+  "../bench/bench_pipelining.pdb"
+  "CMakeFiles/bench_pipelining.dir/bench_pipelining.cpp.o"
+  "CMakeFiles/bench_pipelining.dir/bench_pipelining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

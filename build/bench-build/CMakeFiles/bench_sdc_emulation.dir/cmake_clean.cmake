@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sdc_emulation"
+  "../bench/bench_sdc_emulation.pdb"
+  "CMakeFiles/bench_sdc_emulation.dir/bench_sdc_emulation.cpp.o"
+  "CMakeFiles/bench_sdc_emulation.dir/bench_sdc_emulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdc_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_te"
+  "../bench/bench_te.pdb"
+  "CMakeFiles/bench_te.dir/bench_te.cpp.o"
+  "CMakeFiles/bench_te.dir/bench_te.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tn_embedding"
+  "../bench/bench_tn_embedding.pdb"
+  "CMakeFiles/bench_tn_embedding.dir/bench_tn_embedding.cpp.o"
+  "CMakeFiles/bench_tn_embedding.dir/bench_tn_embedding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tn_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bag_solitaire.dir/bag_solitaire.cpp.o"
+  "CMakeFiles/bag_solitaire.dir/bag_solitaire.cpp.o.d"
+  "bag_solitaire"
+  "bag_solitaire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bag_solitaire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

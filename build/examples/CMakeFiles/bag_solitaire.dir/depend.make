@@ -1,0 +1,2 @@
+# Empty dependencies file for bag_solitaire.
+# This may be replaced when dependencies are built.

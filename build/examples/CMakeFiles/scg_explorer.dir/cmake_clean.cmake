@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_explorer.dir/scg_explorer.cpp.o"
+  "CMakeFiles/scg_explorer.dir/scg_explorer.cpp.o.d"
+  "scg_explorer"
+  "scg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

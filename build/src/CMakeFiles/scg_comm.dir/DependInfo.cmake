@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/BroadcastTree.cpp" "src/CMakeFiles/scg_comm.dir/comm/BroadcastTree.cpp.o" "gcc" "src/CMakeFiles/scg_comm.dir/comm/BroadcastTree.cpp.o.d"
+  "/root/repo/src/comm/Collectives.cpp" "src/CMakeFiles/scg_comm.dir/comm/Collectives.cpp.o" "gcc" "src/CMakeFiles/scg_comm.dir/comm/Collectives.cpp.o.d"
+  "/root/repo/src/comm/Mnb.cpp" "src/CMakeFiles/scg_comm.dir/comm/Mnb.cpp.o" "gcc" "src/CMakeFiles/scg_comm.dir/comm/Mnb.cpp.o.d"
+  "/root/repo/src/comm/PermutationRouting.cpp" "src/CMakeFiles/scg_comm.dir/comm/PermutationRouting.cpp.o" "gcc" "src/CMakeFiles/scg_comm.dir/comm/PermutationRouting.cpp.o.d"
+  "/root/repo/src/comm/SdcProgram.cpp" "src/CMakeFiles/scg_comm.dir/comm/SdcProgram.cpp.o" "gcc" "src/CMakeFiles/scg_comm.dir/comm/SdcProgram.cpp.o.d"
+  "/root/repo/src/comm/Simulator.cpp" "src/CMakeFiles/scg_comm.dir/comm/Simulator.cpp.o" "gcc" "src/CMakeFiles/scg_comm.dir/comm/Simulator.cpp.o.d"
+  "/root/repo/src/comm/TotalExchange.cpp" "src/CMakeFiles/scg_comm.dir/comm/TotalExchange.cpp.o" "gcc" "src/CMakeFiles/scg_comm.dir/comm/TotalExchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

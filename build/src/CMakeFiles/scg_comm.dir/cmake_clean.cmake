@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_comm.dir/comm/BroadcastTree.cpp.o"
+  "CMakeFiles/scg_comm.dir/comm/BroadcastTree.cpp.o.d"
+  "CMakeFiles/scg_comm.dir/comm/Collectives.cpp.o"
+  "CMakeFiles/scg_comm.dir/comm/Collectives.cpp.o.d"
+  "CMakeFiles/scg_comm.dir/comm/Mnb.cpp.o"
+  "CMakeFiles/scg_comm.dir/comm/Mnb.cpp.o.d"
+  "CMakeFiles/scg_comm.dir/comm/PermutationRouting.cpp.o"
+  "CMakeFiles/scg_comm.dir/comm/PermutationRouting.cpp.o.d"
+  "CMakeFiles/scg_comm.dir/comm/SdcProgram.cpp.o"
+  "CMakeFiles/scg_comm.dir/comm/SdcProgram.cpp.o.d"
+  "CMakeFiles/scg_comm.dir/comm/Simulator.cpp.o"
+  "CMakeFiles/scg_comm.dir/comm/Simulator.cpp.o.d"
+  "CMakeFiles/scg_comm.dir/comm/TotalExchange.cpp.o"
+  "CMakeFiles/scg_comm.dir/comm/TotalExchange.cpp.o.d"
+  "libscg_comm.a"
+  "libscg_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

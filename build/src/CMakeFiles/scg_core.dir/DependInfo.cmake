@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BallArrangementGame.cpp" "src/CMakeFiles/scg_core.dir/core/BallArrangementGame.cpp.o" "gcc" "src/CMakeFiles/scg_core.dir/core/BallArrangementGame.cpp.o.d"
+  "/root/repo/src/core/Generator.cpp" "src/CMakeFiles/scg_core.dir/core/Generator.cpp.o" "gcc" "src/CMakeFiles/scg_core.dir/core/Generator.cpp.o.d"
+  "/root/repo/src/core/GeneratorSet.cpp" "src/CMakeFiles/scg_core.dir/core/GeneratorSet.cpp.o" "gcc" "src/CMakeFiles/scg_core.dir/core/GeneratorSet.cpp.o.d"
+  "/root/repo/src/core/NetworkSpec.cpp" "src/CMakeFiles/scg_core.dir/core/NetworkSpec.cpp.o" "gcc" "src/CMakeFiles/scg_core.dir/core/NetworkSpec.cpp.o.d"
+  "/root/repo/src/core/SuperCayleyGraph.cpp" "src/CMakeFiles/scg_core.dir/core/SuperCayleyGraph.cpp.o" "gcc" "src/CMakeFiles/scg_core.dir/core/SuperCayleyGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

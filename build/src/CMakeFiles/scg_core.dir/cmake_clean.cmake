@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_core.dir/core/BallArrangementGame.cpp.o"
+  "CMakeFiles/scg_core.dir/core/BallArrangementGame.cpp.o.d"
+  "CMakeFiles/scg_core.dir/core/Generator.cpp.o"
+  "CMakeFiles/scg_core.dir/core/Generator.cpp.o.d"
+  "CMakeFiles/scg_core.dir/core/GeneratorSet.cpp.o"
+  "CMakeFiles/scg_core.dir/core/GeneratorSet.cpp.o.d"
+  "CMakeFiles/scg_core.dir/core/NetworkSpec.cpp.o"
+  "CMakeFiles/scg_core.dir/core/NetworkSpec.cpp.o.d"
+  "CMakeFiles/scg_core.dir/core/SuperCayleyGraph.cpp.o"
+  "CMakeFiles/scg_core.dir/core/SuperCayleyGraph.cpp.o.d"
+  "libscg_core.a"
+  "libscg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

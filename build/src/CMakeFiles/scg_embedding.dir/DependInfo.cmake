@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/CycleEmbedding.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/CycleEmbedding.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/CycleEmbedding.cpp.o.d"
+  "/root/repo/src/embedding/Embedding.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/Embedding.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/Embedding.cpp.o.d"
+  "/root/repo/src/embedding/HypercubeEmbedding.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/HypercubeEmbedding.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/HypercubeEmbedding.cpp.o.d"
+  "/root/repo/src/embedding/MeshEmbeddings.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/MeshEmbeddings.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/MeshEmbeddings.cpp.o.d"
+  "/root/repo/src/embedding/PathTemplates.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/PathTemplates.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/PathTemplates.cpp.o.d"
+  "/root/repo/src/embedding/StarEmbeddings.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/StarEmbeddings.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/StarEmbeddings.cpp.o.d"
+  "/root/repo/src/embedding/TnEmbeddings.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/TnEmbeddings.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/TnEmbeddings.cpp.o.d"
+  "/root/repo/src/embedding/TreeEmbedding.cpp" "src/CMakeFiles/scg_embedding.dir/embedding/TreeEmbedding.cpp.o" "gcc" "src/CMakeFiles/scg_embedding.dir/embedding/TreeEmbedding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_embedding.dir/embedding/CycleEmbedding.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/CycleEmbedding.cpp.o.d"
+  "CMakeFiles/scg_embedding.dir/embedding/Embedding.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/Embedding.cpp.o.d"
+  "CMakeFiles/scg_embedding.dir/embedding/HypercubeEmbedding.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/HypercubeEmbedding.cpp.o.d"
+  "CMakeFiles/scg_embedding.dir/embedding/MeshEmbeddings.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/MeshEmbeddings.cpp.o.d"
+  "CMakeFiles/scg_embedding.dir/embedding/PathTemplates.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/PathTemplates.cpp.o.d"
+  "CMakeFiles/scg_embedding.dir/embedding/StarEmbeddings.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/StarEmbeddings.cpp.o.d"
+  "CMakeFiles/scg_embedding.dir/embedding/TnEmbeddings.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/TnEmbeddings.cpp.o.d"
+  "CMakeFiles/scg_embedding.dir/embedding/TreeEmbedding.cpp.o"
+  "CMakeFiles/scg_embedding.dir/embedding/TreeEmbedding.cpp.o.d"
+  "libscg_embedding.a"
+  "libscg_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emulation/AllPortSchedule.cpp" "src/CMakeFiles/scg_emulation.dir/emulation/AllPortSchedule.cpp.o" "gcc" "src/CMakeFiles/scg_emulation.dir/emulation/AllPortSchedule.cpp.o.d"
+  "/root/repo/src/emulation/DimensionMap.cpp" "src/CMakeFiles/scg_emulation.dir/emulation/DimensionMap.cpp.o" "gcc" "src/CMakeFiles/scg_emulation.dir/emulation/DimensionMap.cpp.o.d"
+  "/root/repo/src/emulation/FigureOne.cpp" "src/CMakeFiles/scg_emulation.dir/emulation/FigureOne.cpp.o" "gcc" "src/CMakeFiles/scg_emulation.dir/emulation/FigureOne.cpp.o.d"
+  "/root/repo/src/emulation/ScgRouter.cpp" "src/CMakeFiles/scg_emulation.dir/emulation/ScgRouter.cpp.o" "gcc" "src/CMakeFiles/scg_emulation.dir/emulation/ScgRouter.cpp.o.d"
+  "/root/repo/src/emulation/SdcEmulation.cpp" "src/CMakeFiles/scg_emulation.dir/emulation/SdcEmulation.cpp.o" "gcc" "src/CMakeFiles/scg_emulation.dir/emulation/SdcEmulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

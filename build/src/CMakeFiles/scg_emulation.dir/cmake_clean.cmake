@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_emulation.dir/emulation/AllPortSchedule.cpp.o"
+  "CMakeFiles/scg_emulation.dir/emulation/AllPortSchedule.cpp.o.d"
+  "CMakeFiles/scg_emulation.dir/emulation/DimensionMap.cpp.o"
+  "CMakeFiles/scg_emulation.dir/emulation/DimensionMap.cpp.o.d"
+  "CMakeFiles/scg_emulation.dir/emulation/FigureOne.cpp.o"
+  "CMakeFiles/scg_emulation.dir/emulation/FigureOne.cpp.o.d"
+  "CMakeFiles/scg_emulation.dir/emulation/ScgRouter.cpp.o"
+  "CMakeFiles/scg_emulation.dir/emulation/ScgRouter.cpp.o.d"
+  "CMakeFiles/scg_emulation.dir/emulation/SdcEmulation.cpp.o"
+  "CMakeFiles/scg_emulation.dir/emulation/SdcEmulation.cpp.o.d"
+  "libscg_emulation.a"
+  "libscg_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

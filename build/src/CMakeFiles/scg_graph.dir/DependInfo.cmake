@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/Bfs.cpp" "src/CMakeFiles/scg_graph.dir/graph/Bfs.cpp.o" "gcc" "src/CMakeFiles/scg_graph.dir/graph/Bfs.cpp.o.d"
+  "/root/repo/src/graph/Dot.cpp" "src/CMakeFiles/scg_graph.dir/graph/Dot.cpp.o" "gcc" "src/CMakeFiles/scg_graph.dir/graph/Dot.cpp.o.d"
+  "/root/repo/src/graph/Faults.cpp" "src/CMakeFiles/scg_graph.dir/graph/Faults.cpp.o" "gcc" "src/CMakeFiles/scg_graph.dir/graph/Faults.cpp.o.d"
+  "/root/repo/src/graph/Graph.cpp" "src/CMakeFiles/scg_graph.dir/graph/Graph.cpp.o" "gcc" "src/CMakeFiles/scg_graph.dir/graph/Graph.cpp.o.d"
+  "/root/repo/src/graph/Metrics.cpp" "src/CMakeFiles/scg_graph.dir/graph/Metrics.cpp.o" "gcc" "src/CMakeFiles/scg_graph.dir/graph/Metrics.cpp.o.d"
+  "/root/repo/src/graph/MooreBounds.cpp" "src/CMakeFiles/scg_graph.dir/graph/MooreBounds.cpp.o" "gcc" "src/CMakeFiles/scg_graph.dir/graph/MooreBounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_graph.dir/graph/Bfs.cpp.o"
+  "CMakeFiles/scg_graph.dir/graph/Bfs.cpp.o.d"
+  "CMakeFiles/scg_graph.dir/graph/Dot.cpp.o"
+  "CMakeFiles/scg_graph.dir/graph/Dot.cpp.o.d"
+  "CMakeFiles/scg_graph.dir/graph/Faults.cpp.o"
+  "CMakeFiles/scg_graph.dir/graph/Faults.cpp.o.d"
+  "CMakeFiles/scg_graph.dir/graph/Graph.cpp.o"
+  "CMakeFiles/scg_graph.dir/graph/Graph.cpp.o.d"
+  "CMakeFiles/scg_graph.dir/graph/Metrics.cpp.o"
+  "CMakeFiles/scg_graph.dir/graph/Metrics.cpp.o.d"
+  "CMakeFiles/scg_graph.dir/graph/MooreBounds.cpp.o"
+  "CMakeFiles/scg_graph.dir/graph/MooreBounds.cpp.o.d"
+  "libscg_graph.a"
+  "libscg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

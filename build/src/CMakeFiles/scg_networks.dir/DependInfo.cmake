@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/networks/Classic.cpp" "src/CMakeFiles/scg_networks.dir/networks/Classic.cpp.o" "gcc" "src/CMakeFiles/scg_networks.dir/networks/Classic.cpp.o.d"
+  "/root/repo/src/networks/Clusters.cpp" "src/CMakeFiles/scg_networks.dir/networks/Clusters.cpp.o" "gcc" "src/CMakeFiles/scg_networks.dir/networks/Clusters.cpp.o.d"
+  "/root/repo/src/networks/Explicit.cpp" "src/CMakeFiles/scg_networks.dir/networks/Explicit.cpp.o" "gcc" "src/CMakeFiles/scg_networks.dir/networks/Explicit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

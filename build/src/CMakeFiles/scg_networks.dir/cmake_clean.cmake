@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_networks.dir/networks/Classic.cpp.o"
+  "CMakeFiles/scg_networks.dir/networks/Classic.cpp.o.d"
+  "CMakeFiles/scg_networks.dir/networks/Clusters.cpp.o"
+  "CMakeFiles/scg_networks.dir/networks/Clusters.cpp.o.d"
+  "CMakeFiles/scg_networks.dir/networks/Explicit.cpp.o"
+  "CMakeFiles/scg_networks.dir/networks/Explicit.cpp.o.d"
+  "libscg_networks.a"
+  "libscg_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

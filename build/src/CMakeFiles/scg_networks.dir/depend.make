@@ -1,0 +1,2 @@
+# Empty dependencies file for scg_networks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perm/GroupOrder.cpp" "src/CMakeFiles/scg_perm.dir/perm/GroupOrder.cpp.o" "gcc" "src/CMakeFiles/scg_perm.dir/perm/GroupOrder.cpp.o.d"
+  "/root/repo/src/perm/Lehmer.cpp" "src/CMakeFiles/scg_perm.dir/perm/Lehmer.cpp.o" "gcc" "src/CMakeFiles/scg_perm.dir/perm/Lehmer.cpp.o.d"
+  "/root/repo/src/perm/Permutation.cpp" "src/CMakeFiles/scg_perm.dir/perm/Permutation.cpp.o" "gcc" "src/CMakeFiles/scg_perm.dir/perm/Permutation.cpp.o.d"
+  "/root/repo/src/perm/SJT.cpp" "src/CMakeFiles/scg_perm.dir/perm/SJT.cpp.o" "gcc" "src/CMakeFiles/scg_perm.dir/perm/SJT.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

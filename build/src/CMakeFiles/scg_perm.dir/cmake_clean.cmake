@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_perm.dir/perm/GroupOrder.cpp.o"
+  "CMakeFiles/scg_perm.dir/perm/GroupOrder.cpp.o.d"
+  "CMakeFiles/scg_perm.dir/perm/Lehmer.cpp.o"
+  "CMakeFiles/scg_perm.dir/perm/Lehmer.cpp.o.d"
+  "CMakeFiles/scg_perm.dir/perm/Permutation.cpp.o"
+  "CMakeFiles/scg_perm.dir/perm/Permutation.cpp.o.d"
+  "CMakeFiles/scg_perm.dir/perm/SJT.cpp.o"
+  "CMakeFiles/scg_perm.dir/perm/SJT.cpp.o.d"
+  "libscg_perm.a"
+  "libscg_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

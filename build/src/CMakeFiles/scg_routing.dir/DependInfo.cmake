@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/BagSolver.cpp" "src/CMakeFiles/scg_routing.dir/routing/BagSolver.cpp.o" "gcc" "src/CMakeFiles/scg_routing.dir/routing/BagSolver.cpp.o.d"
+  "/root/repo/src/routing/Path.cpp" "src/CMakeFiles/scg_routing.dir/routing/Path.cpp.o" "gcc" "src/CMakeFiles/scg_routing.dir/routing/Path.cpp.o.d"
+  "/root/repo/src/routing/RotatorRouter.cpp" "src/CMakeFiles/scg_routing.dir/routing/RotatorRouter.cpp.o" "gcc" "src/CMakeFiles/scg_routing.dir/routing/RotatorRouter.cpp.o.d"
+  "/root/repo/src/routing/RouteOptimizer.cpp" "src/CMakeFiles/scg_routing.dir/routing/RouteOptimizer.cpp.o" "gcc" "src/CMakeFiles/scg_routing.dir/routing/RouteOptimizer.cpp.o.d"
+  "/root/repo/src/routing/StarRouter.cpp" "src/CMakeFiles/scg_routing.dir/routing/StarRouter.cpp.o" "gcc" "src/CMakeFiles/scg_routing.dir/routing/StarRouter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

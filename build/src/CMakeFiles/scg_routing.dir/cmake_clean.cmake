@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_routing.dir/routing/BagSolver.cpp.o"
+  "CMakeFiles/scg_routing.dir/routing/BagSolver.cpp.o.d"
+  "CMakeFiles/scg_routing.dir/routing/Path.cpp.o"
+  "CMakeFiles/scg_routing.dir/routing/Path.cpp.o.d"
+  "CMakeFiles/scg_routing.dir/routing/RotatorRouter.cpp.o"
+  "CMakeFiles/scg_routing.dir/routing/RotatorRouter.cpp.o.d"
+  "CMakeFiles/scg_routing.dir/routing/RouteOptimizer.cpp.o"
+  "CMakeFiles/scg_routing.dir/routing/RouteOptimizer.cpp.o.d"
+  "CMakeFiles/scg_routing.dir/routing/StarRouter.cpp.o"
+  "CMakeFiles/scg_routing.dir/routing/StarRouter.cpp.o.d"
+  "libscg_routing.a"
+  "libscg_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

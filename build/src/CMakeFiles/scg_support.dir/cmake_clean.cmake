@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scg_support.dir/support/Format.cpp.o"
+  "CMakeFiles/scg_support.dir/support/Format.cpp.o.d"
+  "libscg_support.a"
+  "libscg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

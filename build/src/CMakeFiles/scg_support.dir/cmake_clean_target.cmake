@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscg_support.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AllPortScheduleTest"
+  "AllPortScheduleTest.pdb"
+  "AllPortScheduleTest[1]_tests.cmake"
+  "CMakeFiles/AllPortScheduleTest.dir/AllPortScheduleTest.cpp.o"
+  "CMakeFiles/AllPortScheduleTest.dir/AllPortScheduleTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AllPortScheduleTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

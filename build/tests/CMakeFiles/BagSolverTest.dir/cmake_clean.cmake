@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BagSolverTest"
+  "BagSolverTest.pdb"
+  "BagSolverTest[1]_tests.cmake"
+  "CMakeFiles/BagSolverTest.dir/BagSolverTest.cpp.o"
+  "CMakeFiles/BagSolverTest.dir/BagSolverTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BagSolverTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for BagSolverTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BallArrangementGameTest"
+  "BallArrangementGameTest.pdb"
+  "BallArrangementGameTest[1]_tests.cmake"
+  "CMakeFiles/BallArrangementGameTest.dir/BallArrangementGameTest.cpp.o"
+  "CMakeFiles/BallArrangementGameTest.dir/BallArrangementGameTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BallArrangementGameTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ClustersTest.dir/ClustersTest.cpp.o"
+  "CMakeFiles/ClustersTest.dir/ClustersTest.cpp.o.d"
+  "ClustersTest"
+  "ClustersTest.pdb"
+  "ClustersTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ClustersTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

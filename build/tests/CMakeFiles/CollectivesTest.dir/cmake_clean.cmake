@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CollectivesTest.dir/CollectivesTest.cpp.o"
+  "CMakeFiles/CollectivesTest.dir/CollectivesTest.cpp.o.d"
+  "CollectivesTest"
+  "CollectivesTest.pdb"
+  "CollectivesTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CollectivesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for CommTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CorollariesTest.dir/CorollariesTest.cpp.o"
+  "CMakeFiles/CorollariesTest.dir/CorollariesTest.cpp.o.d"
+  "CorollariesTest"
+  "CorollariesTest.pdb"
+  "CorollariesTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CorollariesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

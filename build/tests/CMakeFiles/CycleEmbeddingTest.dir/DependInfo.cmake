@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CycleEmbeddingTest.cpp" "tests/CMakeFiles/CycleEmbeddingTest.dir/CycleEmbeddingTest.cpp.o" "gcc" "tests/CMakeFiles/CycleEmbeddingTest.dir/CycleEmbeddingTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scg_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_networks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CycleEmbeddingTest.dir/CycleEmbeddingTest.cpp.o"
+  "CMakeFiles/CycleEmbeddingTest.dir/CycleEmbeddingTest.cpp.o.d"
+  "CycleEmbeddingTest"
+  "CycleEmbeddingTest.pdb"
+  "CycleEmbeddingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CycleEmbeddingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

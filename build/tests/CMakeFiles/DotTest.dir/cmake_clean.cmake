@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DotTest.dir/DotTest.cpp.o"
+  "CMakeFiles/DotTest.dir/DotTest.cpp.o.d"
+  "DotTest"
+  "DotTest.pdb"
+  "DotTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DotTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EmbeddingTest.dir/EmbeddingTest.cpp.o"
+  "CMakeFiles/EmbeddingTest.dir/EmbeddingTest.cpp.o.d"
+  "EmbeddingTest"
+  "EmbeddingTest.pdb"
+  "EmbeddingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EmbeddingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

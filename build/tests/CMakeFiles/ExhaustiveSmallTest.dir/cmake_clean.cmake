@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExhaustiveSmallTest.dir/ExhaustiveSmallTest.cpp.o"
+  "CMakeFiles/ExhaustiveSmallTest.dir/ExhaustiveSmallTest.cpp.o.d"
+  "ExhaustiveSmallTest"
+  "ExhaustiveSmallTest.pdb"
+  "ExhaustiveSmallTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExhaustiveSmallTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

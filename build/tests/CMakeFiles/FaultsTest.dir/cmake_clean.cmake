@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FaultsTest.dir/FaultsTest.cpp.o"
+  "CMakeFiles/FaultsTest.dir/FaultsTest.cpp.o.d"
+  "FaultsTest"
+  "FaultsTest.pdb"
+  "FaultsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FaultsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

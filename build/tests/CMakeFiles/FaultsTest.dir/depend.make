@@ -1,0 +1,2 @@
+# Empty dependencies file for FaultsTest.
+# This may be replaced when dependencies are built.

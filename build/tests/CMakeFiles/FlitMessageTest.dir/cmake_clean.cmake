@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FlitMessageTest.dir/FlitMessageTest.cpp.o"
+  "CMakeFiles/FlitMessageTest.dir/FlitMessageTest.cpp.o.d"
+  "FlitMessageTest"
+  "FlitMessageTest.pdb"
+  "FlitMessageTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FlitMessageTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

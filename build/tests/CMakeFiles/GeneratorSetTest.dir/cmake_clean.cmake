@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GeneratorSetTest.dir/GeneratorSetTest.cpp.o"
+  "CMakeFiles/GeneratorSetTest.dir/GeneratorSetTest.cpp.o.d"
+  "GeneratorSetTest"
+  "GeneratorSetTest.pdb"
+  "GeneratorSetTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GeneratorSetTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GeneratorTest.dir/GeneratorTest.cpp.o"
+  "CMakeFiles/GeneratorTest.dir/GeneratorTest.cpp.o.d"
+  "GeneratorTest"
+  "GeneratorTest.pdb"
+  "GeneratorTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GeneratorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GraphTest.dir/GraphTest.cpp.o"
+  "CMakeFiles/GraphTest.dir/GraphTest.cpp.o.d"
+  "GraphTest"
+  "GraphTest.pdb"
+  "GraphTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GraphTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

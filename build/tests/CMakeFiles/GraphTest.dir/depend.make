@@ -1,0 +1,2 @@
+# Empty dependencies file for GraphTest.
+# This may be replaced when dependencies are built.

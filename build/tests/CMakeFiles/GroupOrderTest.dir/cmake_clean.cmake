@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GroupOrderTest.dir/GroupOrderTest.cpp.o"
+  "CMakeFiles/GroupOrderTest.dir/GroupOrderTest.cpp.o.d"
+  "GroupOrderTest"
+  "GroupOrderTest.pdb"
+  "GroupOrderTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GroupOrderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

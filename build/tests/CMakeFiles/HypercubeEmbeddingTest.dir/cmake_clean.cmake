@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/HypercubeEmbeddingTest.dir/HypercubeEmbeddingTest.cpp.o"
+  "CMakeFiles/HypercubeEmbeddingTest.dir/HypercubeEmbeddingTest.cpp.o.d"
+  "HypercubeEmbeddingTest"
+  "HypercubeEmbeddingTest.pdb"
+  "HypercubeEmbeddingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/HypercubeEmbeddingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LehmerTest.dir/LehmerTest.cpp.o"
+  "CMakeFiles/LehmerTest.dir/LehmerTest.cpp.o.d"
+  "LehmerTest"
+  "LehmerTest.pdb"
+  "LehmerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LehmerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

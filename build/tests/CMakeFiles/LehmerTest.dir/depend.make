@@ -1,0 +1,2 @@
+# Empty dependencies file for LehmerTest.
+# This may be replaced when dependencies are built.

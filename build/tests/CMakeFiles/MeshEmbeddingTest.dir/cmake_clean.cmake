@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MeshEmbeddingTest.dir/MeshEmbeddingTest.cpp.o"
+  "CMakeFiles/MeshEmbeddingTest.dir/MeshEmbeddingTest.cpp.o.d"
+  "MeshEmbeddingTest"
+  "MeshEmbeddingTest.pdb"
+  "MeshEmbeddingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MeshEmbeddingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MnbStripedTest.dir/MnbStripedTest.cpp.o"
+  "CMakeFiles/MnbStripedTest.dir/MnbStripedTest.cpp.o.d"
+  "MnbStripedTest"
+  "MnbStripedTest.pdb"
+  "MnbStripedTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MnbStripedTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MooreBoundsTest.dir/MooreBoundsTest.cpp.o"
+  "CMakeFiles/MooreBoundsTest.dir/MooreBoundsTest.cpp.o.d"
+  "MooreBoundsTest"
+  "MooreBoundsTest.pdb"
+  "MooreBoundsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MooreBoundsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

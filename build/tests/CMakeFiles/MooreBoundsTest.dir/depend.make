@@ -1,0 +1,2 @@
+# Empty dependencies file for MooreBoundsTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/NetworkSpecTest.dir/NetworkSpecTest.cpp.o"
+  "CMakeFiles/NetworkSpecTest.dir/NetworkSpecTest.cpp.o.d"
+  "NetworkSpecTest"
+  "NetworkSpecTest.pdb"
+  "NetworkSpecTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/NetworkSpecTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/NetworkSweepTest.dir/NetworkSweepTest.cpp.o"
+  "CMakeFiles/NetworkSweepTest.dir/NetworkSweepTest.cpp.o.d"
+  "NetworkSweepTest"
+  "NetworkSweepTest.pdb"
+  "NetworkSweepTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/NetworkSweepTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/NetworksTest.dir/NetworksTest.cpp.o"
+  "CMakeFiles/NetworksTest.dir/NetworksTest.cpp.o.d"
+  "NetworksTest"
+  "NetworksTest.pdb"
+  "NetworksTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/NetworksTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

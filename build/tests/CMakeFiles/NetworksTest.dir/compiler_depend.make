@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for NetworksTest.
+# This may be replaced when dependencies are built.

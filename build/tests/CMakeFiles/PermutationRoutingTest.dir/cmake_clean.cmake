@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PermutationRoutingTest.dir/PermutationRoutingTest.cpp.o"
+  "CMakeFiles/PermutationRoutingTest.dir/PermutationRoutingTest.cpp.o.d"
+  "PermutationRoutingTest"
+  "PermutationRoutingTest.pdb"
+  "PermutationRoutingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PermutationRoutingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PermutationTest.dir/PermutationTest.cpp.o"
+  "CMakeFiles/PermutationTest.dir/PermutationTest.cpp.o.d"
+  "PermutationTest"
+  "PermutationTest.pdb"
+  "PermutationTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PermutationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RenderingTest.dir/RenderingTest.cpp.o"
+  "CMakeFiles/RenderingTest.dir/RenderingTest.cpp.o.d"
+  "RenderingTest"
+  "RenderingTest.pdb"
+  "RenderingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RenderingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

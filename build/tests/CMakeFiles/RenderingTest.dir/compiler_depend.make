@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for RenderingTest.
+# This may be replaced when dependencies are built.

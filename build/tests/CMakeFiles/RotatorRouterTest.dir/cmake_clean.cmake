@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RotatorRouterTest.dir/RotatorRouterTest.cpp.o"
+  "CMakeFiles/RotatorRouterTest.dir/RotatorRouterTest.cpp.o.d"
+  "RotatorRouterTest"
+  "RotatorRouterTest.pdb"
+  "RotatorRouterTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RotatorRouterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RouteOptimizerTest.dir/RouteOptimizerTest.cpp.o"
+  "CMakeFiles/RouteOptimizerTest.dir/RouteOptimizerTest.cpp.o.d"
+  "RouteOptimizerTest"
+  "RouteOptimizerTest.pdb"
+  "RouteOptimizerTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RouteOptimizerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

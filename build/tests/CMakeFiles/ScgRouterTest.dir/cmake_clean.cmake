@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScgRouterTest.dir/ScgRouterTest.cpp.o"
+  "CMakeFiles/ScgRouterTest.dir/ScgRouterTest.cpp.o.d"
+  "ScgRouterTest"
+  "ScgRouterTest.pdb"
+  "ScgRouterTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScgRouterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SdcEmulationTest.dir/SdcEmulationTest.cpp.o"
+  "CMakeFiles/SdcEmulationTest.dir/SdcEmulationTest.cpp.o.d"
+  "SdcEmulationTest"
+  "SdcEmulationTest.pdb"
+  "SdcEmulationTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SdcEmulationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SdcProgramTest.dir/SdcProgramTest.cpp.o"
+  "CMakeFiles/SdcProgramTest.dir/SdcProgramTest.cpp.o.d"
+  "SdcProgramTest"
+  "SdcProgramTest.pdb"
+  "SdcProgramTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SdcProgramTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

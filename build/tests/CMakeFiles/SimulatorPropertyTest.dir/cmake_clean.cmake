@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SimulatorPropertyTest.dir/SimulatorPropertyTest.cpp.o"
+  "CMakeFiles/SimulatorPropertyTest.dir/SimulatorPropertyTest.cpp.o.d"
+  "SimulatorPropertyTest"
+  "SimulatorPropertyTest.pdb"
+  "SimulatorPropertyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SimulatorPropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

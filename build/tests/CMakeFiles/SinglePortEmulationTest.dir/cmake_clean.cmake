@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SinglePortEmulationTest.dir/SinglePortEmulationTest.cpp.o"
+  "CMakeFiles/SinglePortEmulationTest.dir/SinglePortEmulationTest.cpp.o.d"
+  "SinglePortEmulationTest"
+  "SinglePortEmulationTest.pdb"
+  "SinglePortEmulationTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SinglePortEmulationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SjtTest.dir/SjtTest.cpp.o"
+  "CMakeFiles/SjtTest.dir/SjtTest.cpp.o.d"
+  "SjtTest"
+  "SjtTest.pdb"
+  "SjtTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SjtTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StarEmbeddingSweepTest.dir/StarEmbeddingSweepTest.cpp.o"
+  "CMakeFiles/StarEmbeddingSweepTest.dir/StarEmbeddingSweepTest.cpp.o.d"
+  "StarEmbeddingSweepTest"
+  "StarEmbeddingSweepTest.pdb"
+  "StarEmbeddingSweepTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StarEmbeddingSweepTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

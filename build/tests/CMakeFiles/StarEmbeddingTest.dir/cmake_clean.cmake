@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StarEmbeddingTest.dir/StarEmbeddingTest.cpp.o"
+  "CMakeFiles/StarEmbeddingTest.dir/StarEmbeddingTest.cpp.o.d"
+  "StarEmbeddingTest"
+  "StarEmbeddingTest.pdb"
+  "StarEmbeddingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StarEmbeddingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for StarEmbeddingTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StarRouterTest.dir/StarRouterTest.cpp.o"
+  "CMakeFiles/StarRouterTest.dir/StarRouterTest.cpp.o.d"
+  "StarRouterTest"
+  "StarRouterTest.pdb"
+  "StarRouterTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StarRouterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SuperCayleyGraphTest.dir/SuperCayleyGraphTest.cpp.o"
+  "CMakeFiles/SuperCayleyGraphTest.dir/SuperCayleyGraphTest.cpp.o.d"
+  "SuperCayleyGraphTest"
+  "SuperCayleyGraphTest.pdb"
+  "SuperCayleyGraphTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SuperCayleyGraphTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TnEmbeddingTest.dir/TnEmbeddingTest.cpp.o"
+  "CMakeFiles/TnEmbeddingTest.dir/TnEmbeddingTest.cpp.o.d"
+  "TnEmbeddingTest"
+  "TnEmbeddingTest.pdb"
+  "TnEmbeddingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TnEmbeddingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

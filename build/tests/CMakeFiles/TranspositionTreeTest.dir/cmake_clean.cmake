@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TranspositionTreeTest.dir/TranspositionTreeTest.cpp.o"
+  "CMakeFiles/TranspositionTreeTest.dir/TranspositionTreeTest.cpp.o.d"
+  "TranspositionTreeTest"
+  "TranspositionTreeTest.pdb"
+  "TranspositionTreeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TranspositionTreeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

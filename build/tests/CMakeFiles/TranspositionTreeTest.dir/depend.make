@@ -1,0 +1,2 @@
+# Empty dependencies file for TranspositionTreeTest.
+# This may be replaced when dependencies are built.

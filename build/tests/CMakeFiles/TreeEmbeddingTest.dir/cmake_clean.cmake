@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TreeEmbeddingTest.dir/TreeEmbeddingTest.cpp.o"
+  "CMakeFiles/TreeEmbeddingTest.dir/TreeEmbeddingTest.cpp.o.d"
+  "TreeEmbeddingTest"
+  "TreeEmbeddingTest.pdb"
+  "TreeEmbeddingTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TreeEmbeddingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
