@@ -6,23 +6,30 @@
 // diameters (given their node degree) and small node degrees"; the table
 // makes the degree/diameter trade-off concrete.
 //
+// Also reports the parallel execution engine's scaling: allPairsStats on
+// the largest inventory graph (star(7), 5040 nodes) timed serially and at
+// 2/4/8 threads, with the byte-identity of the results asserted.
+//
 //===----------------------------------------------------------------------===//
 
 #include "graph/Metrics.h"
 #include "networks/Clusters.h"
 #include "networks/Explicit.h"
 #include "perm/GroupOrder.h"
+#include "support/BatchRunner.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 using namespace scg;
 
 namespace {
 
-void addNetworkRow(TextTable &Table, const SuperCayleyGraph &Scg) {
+std::vector<std::string> networkRow(const SuperCayleyGraph &Scg) {
   ExplicitScg Net(Scg);
   DistanceStats Stats = vertexTransitiveStats(Net.toGraph());
   // Connectivity certificate (Schreier-Sims) and modular structure.
@@ -35,13 +42,13 @@ void addNetworkRow(TextTable &Table, const SuperCayleyGraph &Scg) {
     Clusters = std::to_string(C.numClusters()) + "x" +
                std::to_string(C.clusterSize());
   }
-  Table.addRow({Scg.name(), std::to_string(Scg.numSymbols()),
-                std::to_string(Scg.numNodes()),
-                std::to_string(Scg.degree()),
-                Scg.isUndirected() ? "no" : "yes",
-                std::to_string(Stats.Diameter),
-                formatDouble(Stats.AverageDistance, 3),
-                generatesSymmetricGroup(Actions) ? "yes" : "NO", Clusters});
+  return {Scg.name(), std::to_string(Scg.numSymbols()),
+          std::to_string(Scg.numNodes()),
+          std::to_string(Scg.degree()),
+          Scg.isUndirected() ? "no" : "yes",
+          std::to_string(Stats.Diameter),
+          formatDouble(Stats.AverageDistance, 3),
+          generatesSymmetricGroup(Actions) ? "yes" : "NO", Clusters};
 }
 
 void printInventory() {
@@ -51,11 +58,17 @@ void printInventory() {
   Table.setHeader({"network", "k", "nodes", "degree", "directed", "diameter",
                    "avg dist", "S_k cert", "clusters"});
 
+  // Every inventory row is independent; build them as a parallel batch and
+  // print in submission order.
+  BatchRunner<std::vector<std::string>> Rows;
+  auto Queue = [&](SuperCayleyGraph Scg) {
+    Rows.add([Scg = std::move(Scg)] { return networkRow(Scg); });
+  };
   for (unsigned K : {5u, 6u, 7u}) {
-    addNetworkRow(Table, SuperCayleyGraph::star(K));
-    addNetworkRow(Table, SuperCayleyGraph::bubbleSort(K));
-    addNetworkRow(Table, SuperCayleyGraph::transpositionNetwork(K));
-    addNetworkRow(Table, SuperCayleyGraph::insertionSelection(K));
+    Queue(SuperCayleyGraph::star(K));
+    Queue(SuperCayleyGraph::bubbleSort(K));
+    Queue(SuperCayleyGraph::transpositionNetwork(K));
+    Queue(SuperCayleyGraph::insertionSelection(K));
   }
   for (auto [L, N] : {std::pair{2u, 2u}, {3u, 2u}, {2u, 3u}, {4u, 2u}}) {
     for (NetworkKind Kind :
@@ -65,12 +78,50 @@ void printInventory() {
           NetworkKind::MacroIS, NetworkKind::RotationIS,
           NetworkKind::CompleteRotationIS})
       if (L * N + 1 <= 9)
-        addNetworkRow(Table, SuperCayleyGraph::create(Kind, L, N));
+        Queue(SuperCayleyGraph::create(Kind, L, N));
   }
+  for (std::vector<std::string> &Row : Rows.run())
+    Table.addRow(std::move(Row));
   std::printf("%s\n", Table.render().c_str());
   std::printf("note: the paper's headline trade-off is visible in the "
               "degree column: MS/RS/complete-RS reach star-graph-like "
               "diameters with ~n + l links instead of k - 1.\n\n");
+}
+
+void printParallelScaling() {
+  std::printf("parallel engine: allPairsStats on star(7) (5040 nodes, one "
+              "BFS per node) at 1/2/4/8 threads\n");
+  std::printf("(hardware concurrency here: %u; SCG_THREADS overrides)\n\n",
+              defaultThreadCount());
+  ExplicitScg Net(SuperCayleyGraph::star(7));
+  Graph G = Net.toGraph();
+
+  TextTable Table;
+  Table.setHeader({"threads", "wall ms", "speedup", "diameter", "avg dist"});
+  double BaselineMs = 0.0;
+  DistanceStats Reference;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    setGlobalThreadCount(Threads);
+    auto Start = std::chrono::steady_clock::now();
+    DistanceStats Stats = allPairsStats(G);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    benchmark::DoNotOptimize(Stats);
+    if (Threads == 1) {
+      BaselineMs = Ms;
+      Reference = Stats;
+    } else if (Stats.Diameter != Reference.Diameter ||
+               Stats.AverageDistance != Reference.AverageDistance) {
+      std::printf("ERROR: parallel result diverged from serial!\n");
+    }
+    Table.addRow({std::to_string(Threads), formatDouble(Ms, 1),
+                  formatDouble(BaselineMs / Ms, 2),
+                  std::to_string(Stats.Diameter),
+                  formatDouble(Stats.AverageDistance, 3)});
+  }
+  setGlobalThreadCount(0);
+  std::printf("%s\n\n", Table.render().c_str());
 }
 
 void BM_BuildExplicitStar7(benchmark::State &State) {
@@ -91,10 +142,27 @@ void BM_DiameterMacroStar32(benchmark::State &State) {
 }
 BENCHMARK(BM_DiameterMacroStar32)->Unit(benchmark::kMillisecond);
 
+void BM_AllPairsStatsStar7(benchmark::State &State) {
+  // Arg = thread count for the global pool (the tentpole's hot kernel).
+  static ExplicitScg Net(SuperCayleyGraph::star(7));
+  static Graph G = Net.toGraph();
+  setGlobalThreadCount(unsigned(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(allPairsStats(G).Diameter);
+  setGlobalThreadCount(0);
+}
+BENCHMARK(BM_AllPairsStatsStar7)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
   printInventory();
+  printParallelScaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -4,6 +4,7 @@
 
 #include "emulation/ScgRouter.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <map>
@@ -76,4 +77,21 @@ scg::simulatePermutationRouting(const ExplicitScg &Net,
   Result.AverageRouteLength =
       Injected ? double(HopTotal) / double(Injected) : 0.0;
   return Result;
+}
+
+std::vector<PermutationRoutingResult>
+scg::simulatePermutationRoutingBatch(const ExplicitScg &Net,
+                                     const std::vector<TrafficPattern> &Patterns,
+                                     CommModel Model) {
+  // Each pattern gets its own NetworkSimulator and load map; the shared
+  // ExplicitScg is read-only after construction, so instances are
+  // independent. One chunk per pattern: a whole simulation is coarse work.
+  std::vector<PermutationRoutingResult> Results(Patterns.size());
+  ThreadPool::global().parallelFor(
+      0, Patterns.size(),
+      [&](uint64_t I) {
+        Results[I] = simulatePermutationRouting(Net, Patterns[I], Model);
+      },
+      /*ChunkSize=*/1);
+  return Results;
 }

@@ -3,9 +3,11 @@
 #include "graph/Faults.h"
 
 #include "graph/Bfs.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace scg;
 
@@ -42,14 +44,50 @@ FaultAnalysis scg::analyzeUnderFaults(const Graph &G,
   return Analysis;
 }
 
+namespace {
+
+/// Order-independent reduction over fault scenarios (AND / max), so the
+/// parallel sweep matches the serial one byte for byte. Disconnected
+/// scenarios do not contribute to WorstDiameter, mirroring the serial loop.
+struct SweepOutcome {
+  bool AlwaysConnected = true;
+  uint32_t WorstDiameter = 0;
+};
+
+/// Evaluates NumScenarios single-fault scenarios in parallel on the global
+/// pool; each scenario runs one full analyzeUnderFaults (its own surviving
+/// graph and BFS buffers), so scenarios share nothing but G.
+SweepOutcome evaluateScenarios(const Graph &G, uint64_t NumScenarios,
+                               const std::function<FaultSet(uint64_t)> &Make) {
+  return ThreadPool::global().parallelMapReduce<SweepOutcome>(
+      0, NumScenarios, SweepOutcome{},
+      [&](uint64_t I) {
+        FaultAnalysis Analysis = analyzeUnderFaults(G, Make(I));
+        SweepOutcome One;
+        if (!Analysis.Connected)
+          One.AlwaysConnected = false;
+        else
+          One.WorstDiameter = Analysis.Diameter;
+        return One;
+      },
+      [](SweepOutcome A, const SweepOutcome &B) {
+        A.AlwaysConnected = A.AlwaysConnected && B.AlwaysConnected;
+        A.WorstDiameter = std::max(A.WorstDiameter, B.WorstDiameter);
+        return A;
+      });
+}
+
+} // namespace
+
 SingleFaultSweep scg::sweepSingleLinkFaults(const Graph &G,
                                             unsigned Stride) {
   assert(Stride >= 1 && "stride must be positive");
   SingleFaultSweep Sweep;
-  Sweep.AlwaysConnected = true;
-  Sweep.FaultFreeDiameter =
-      analyzeUnderFaults(G, FaultSet()).Diameter;
+  Sweep.FaultFreeDiameter = analyzeUnderFaults(G, FaultSet()).Diameter;
 
+  // Enumerate the strided scenario list deterministically up front, then
+  // evaluate scenarios in parallel.
+  std::vector<std::pair<NodeId, NodeId>> Links;
   uint64_t Index = 0;
   for (NodeId From = 0; From != G.numNodes(); ++From)
     for (NodeId To : G.neighbors(From)) {
@@ -57,16 +95,18 @@ SingleFaultSweep scg::sweepSingleLinkFaults(const Graph &G,
         continue; // one scenario per undirected link.
       if (Index++ % Stride != 0)
         continue;
-      FaultSet Faults;
-      Faults.failLink(From, To);
-      FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
-      ++Sweep.ScenariosTried;
-      if (!Analysis.Connected) {
-        Sweep.AlwaysConnected = false;
-        continue;
-      }
-      Sweep.WorstDiameter = std::max(Sweep.WorstDiameter, Analysis.Diameter);
+      Links.push_back({From, To});
     }
+
+  SweepOutcome Outcome =
+      evaluateScenarios(G, Links.size(), [&](uint64_t I) {
+        FaultSet Faults;
+        Faults.failLink(Links[I].first, Links[I].second);
+        return Faults;
+      });
+  Sweep.AlwaysConnected = Outcome.AlwaysConnected;
+  Sweep.WorstDiameter = Outcome.WorstDiameter;
+  Sweep.ScenariosTried = Links.size();
   return Sweep;
 }
 
@@ -74,20 +114,20 @@ SingleFaultSweep scg::sweepSingleNodeFaults(const Graph &G,
                                             unsigned Stride) {
   assert(Stride >= 1 && "stride must be positive");
   SingleFaultSweep Sweep;
-  Sweep.AlwaysConnected = true;
-  Sweep.FaultFreeDiameter =
-      analyzeUnderFaults(G, FaultSet()).Diameter;
+  Sweep.FaultFreeDiameter = analyzeUnderFaults(G, FaultSet()).Diameter;
 
-  for (NodeId Node = 0; Node < G.numNodes(); Node += Stride) {
-    FaultSet Faults;
-    Faults.failNode(Node);
-    FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
-    ++Sweep.ScenariosTried;
-    if (!Analysis.Connected) {
-      Sweep.AlwaysConnected = false;
-      continue;
-    }
-    Sweep.WorstDiameter = std::max(Sweep.WorstDiameter, Analysis.Diameter);
-  }
+  std::vector<NodeId> Nodes;
+  for (NodeId Node = 0; Node < G.numNodes(); Node += Stride)
+    Nodes.push_back(Node);
+
+  SweepOutcome Outcome =
+      evaluateScenarios(G, Nodes.size(), [&](uint64_t I) {
+        FaultSet Faults;
+        Faults.failNode(Nodes[I]);
+        return Faults;
+      });
+  Sweep.AlwaysConnected = Outcome.AlwaysConnected;
+  Sweep.WorstDiameter = Outcome.WorstDiameter;
+  Sweep.ScenariosTried = Nodes.size();
   return Sweep;
 }

@@ -82,10 +82,12 @@ struct SingleFaultSweep {
 
 /// Removes every \p Stride-th undirected link in turn (Stride 1 =
 /// exhaustive) and reports the worst outcome. \p G must be undirected.
+/// Scenarios are evaluated in parallel on the global ThreadPool; results
+/// are byte-identical at every thread count (SCG_THREADS=1 forces serial).
 SingleFaultSweep sweepSingleLinkFaults(const Graph &G, unsigned Stride = 1);
 
 /// Removes every \p Stride-th node in turn and reports the worst outcome
-/// among the survivors.
+/// among the survivors. Parallel over scenarios like the link sweep.
 SingleFaultSweep sweepSingleNodeFaults(const Graph &G, unsigned Stride = 1);
 
 } // namespace scg

@@ -27,7 +27,10 @@ struct DistanceStats {
   double AverageDistance = 0.0; ///< Over ordered pairs of distinct nodes.
 };
 
-/// All-pairs statistics via one BFS per node (O(V * E)).
+/// All-pairs statistics via one BFS per node (O(V * E)), parallel over
+/// source nodes on the global ThreadPool (SCG_THREADS=1 forces serial).
+/// Results are byte-identical at every thread count. For a disconnected
+/// graph, returns Connected=false with zeroed Diameter/AverageDistance.
 DistanceStats allPairsStats(const Graph &G);
 
 /// Single-BFS statistics from \p Representative, valid for vertex-transitive

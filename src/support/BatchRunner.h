@@ -1,0 +1,59 @@
+//===- support/BatchRunner.h - Parallel batches of named jobs --*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small helper for the benches and sweeps: accumulate independent jobs,
+/// run them on a ThreadPool (one chunk per job -- jobs are coarse), and get
+/// the results back in submission order regardless of execution order. The
+/// network-family sweeps use this to build every inventory row concurrently
+/// and still print a deterministic table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_SUPPORT_BATCHRUNNER_H
+#define SCG_SUPPORT_BATCHRUNNER_H
+
+#include "support/ThreadPool.h"
+
+#include <functional>
+#include <vector>
+
+namespace scg {
+
+/// Collects jobs returning \p R and evaluates them in parallel; results come
+/// back indexed exactly as the jobs were added.
+template <typename R> class BatchRunner {
+public:
+  explicit BatchRunner(ThreadPool &Pool = ThreadPool::global())
+      : Pool(Pool) {}
+
+  /// Queues one job; returns its index in the result vector.
+  size_t add(std::function<R()> Job) {
+    Jobs.push_back(std::move(Job));
+    return Jobs.size() - 1;
+  }
+
+  size_t size() const { return Jobs.size(); }
+
+  /// Runs every queued job (one chunk each) and clears the queue. The first
+  /// exception thrown by a job propagates.
+  std::vector<R> run() {
+    std::vector<R> Results(Jobs.size());
+    Pool.parallelFor(
+        0, Jobs.size(), [&](uint64_t I) { Results[I] = Jobs[I](); },
+        /*ChunkSize=*/1);
+    Jobs.clear();
+    return Results;
+  }
+
+private:
+  ThreadPool &Pool;
+  std::vector<std::function<R()>> Jobs;
+};
+
+} // namespace scg
+
+#endif // SCG_SUPPORT_BATCHRUNNER_H

@@ -1,0 +1,199 @@
+//===- support/ThreadPool.cpp - Deterministic chunked parallelism --------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+using namespace scg;
+
+namespace {
+
+/// True while the current thread is executing chunks of some job; nested
+/// submissions from such a thread run inline to avoid deadlocking on the
+/// pool's single job slot.
+thread_local bool InParallelRegion = false;
+
+/// Requested size for the global pool (0 = automatic).
+std::atomic<unsigned> GlobalOverride{0};
+
+struct RegionGuard {
+  bool Saved = InParallelRegion;
+  RegionGuard() { InParallelRegion = true; }
+  ~RegionGuard() { InParallelRegion = Saved; }
+};
+
+} // namespace
+
+unsigned scg::threadCountFromEnv() {
+  const char *Text = std::getenv("SCG_THREADS");
+  if (!Text || !*Text)
+    return 0;
+  char *End = nullptr;
+  long Value = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '\0' || Value < 1)
+    return 0;
+  return unsigned(std::min(Value, 1024L));
+}
+
+unsigned scg::defaultThreadCount() {
+  if (unsigned FromEnv = threadCountFromEnv())
+    return FromEnv;
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware ? Hardware : 1;
+}
+
+void scg::setGlobalThreadCount(unsigned Count) {
+  GlobalOverride.store(Count, std::memory_order_relaxed);
+}
+
+unsigned scg::effectiveThreadCount() {
+  if (unsigned Override = GlobalOverride.load(std::memory_order_relaxed))
+    return Override;
+  return defaultThreadCount();
+}
+
+/// One parallel region. Shared-ptr-owned so a worker that observes the job
+/// after the submitter returned cannot touch freed memory.
+struct ThreadPool::Job {
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+  uint64_t ChunkSize = 1;
+  uint64_t NumChunks = 0;
+  const std::function<void(uint64_t, uint64_t)> *Chunk = nullptr;
+  std::atomic<uint64_t> NextChunk{0};
+  std::atomic<uint64_t> ChunksDone{0};
+  std::atomic<bool> Failed{false};
+  std::once_flag ErrorOnce;
+  std::exception_ptr Error;
+};
+
+ThreadPool::ThreadPool(unsigned ThreadCount)
+    : Count(ThreadCount ? ThreadCount : defaultThreadCount()) {
+  Workers.reserve(Count - 1);
+  for (unsigned I = 1; I < Count; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+uint64_t ThreadPool::defaultChunkSize(uint64_t N) {
+  // Small chunks keep the load balanced across threads of unequal speed;
+  // the atomic claim per chunk is negligible next to a BFS or a routing
+  // simulation. Depends only on N (see the determinism contract).
+  return std::clamp<uint64_t>(N / 64, 1, 1024);
+}
+
+void ThreadPool::parallelForChunks(
+    uint64_t Begin, uint64_t End, uint64_t ChunkSize,
+    const std::function<void(uint64_t, uint64_t)> &Chunk) {
+  if (Begin >= End)
+    return;
+  uint64_t N = End - Begin;
+  if (ChunkSize == 0)
+    ChunkSize = defaultChunkSize(N);
+  uint64_t NumChunks = (N + ChunkSize - 1) / ChunkSize;
+
+  // Serial path: forced-serial pools, nested submissions, or nothing to
+  // share. Exceptions propagate directly.
+  if (Count == 1 || InParallelRegion || NumChunks == 1) {
+    RegionGuard Guard;
+    for (uint64_t C = 0; C != NumChunks; ++C) {
+      uint64_t B = Begin + C * ChunkSize;
+      Chunk(B, std::min(End, B + ChunkSize));
+    }
+    return;
+  }
+
+  auto J = std::make_shared<Job>();
+  J->Begin = Begin;
+  J->End = End;
+  J->ChunkSize = ChunkSize;
+  J->NumChunks = NumChunks;
+  J->Chunk = &Chunk;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Current = J;
+    ++Generation;
+  }
+  WorkCv.notify_all();
+
+  runChunks(*J); // the submitting thread participates.
+
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    DoneCv.wait(Lock, [&] {
+      return J->ChunksDone.load(std::memory_order_acquire) == J->NumChunks;
+    });
+    Current = nullptr;
+  }
+  if (J->Error)
+    std::rethrow_exception(J->Error);
+}
+
+void ThreadPool::workerMain() {
+  uint64_t SeenGeneration = 0;
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    WorkCv.wait(Lock, [&] {
+      return Stop || (Current && Generation != SeenGeneration);
+    });
+    if (Stop)
+      return;
+    std::shared_ptr<Job> J = Current;
+    SeenGeneration = Generation;
+    Lock.unlock();
+    runChunks(*J);
+    Lock.lock();
+  }
+}
+
+void ThreadPool::runChunks(Job &J) {
+  RegionGuard Guard;
+  while (true) {
+    uint64_t C = J.NextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (C >= J.NumChunks)
+      return;
+    if (!J.Failed.load(std::memory_order_relaxed)) {
+      uint64_t B = J.Begin + C * J.ChunkSize;
+      uint64_t E = std::min(J.End, B + J.ChunkSize);
+      try {
+        (*J.Chunk)(B, E);
+      } catch (...) {
+        std::call_once(J.ErrorOnce,
+                       [&] { J.Error = std::current_exception(); });
+        J.Failed.store(true, std::memory_order_release);
+      }
+    }
+    // The release increment chain makes every chunk's writes visible to the
+    // submitter once it observes ChunksDone == NumChunks.
+    if (J.ChunksDone.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        J.NumChunks) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      DoneCv.notify_all();
+    }
+  }
+}
+
+ThreadPool &ThreadPool::global() {
+  static std::mutex PoolMu;
+  static std::unique_ptr<ThreadPool> Pool;
+  static unsigned PoolSize = 0;
+  std::lock_guard<std::mutex> Lock(PoolMu);
+  unsigned Want = effectiveThreadCount();
+  if (!Pool || PoolSize != Want) {
+    Pool.reset(); // join the old workers before replacing them.
+    Pool = std::make_unique<ThreadPool>(Want);
+    PoolSize = Want;
+  }
+  return *Pool;
+}

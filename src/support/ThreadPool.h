@@ -1,0 +1,150 @@
+//===- support/ThreadPool.h - Deterministic chunked parallelism -*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with a chunked, work-stealing-free
+/// parallelFor / parallelMapReduce API designed for determinism: given the
+/// same input range and chunk size, parallelMapReduce produces byte-identical
+/// results at every thread count, because per-chunk partial results are
+/// folded in chunk-index order after the parallel region, and the default
+/// chunk size depends only on the range length (never on the thread count).
+/// The graph sweeps (allPairsStats, fault sweeps, batch permutation routing)
+/// rely on this contract, and tests/ParallelDifferentialTest.cpp pins it.
+///
+/// Thread-count resolution for the process-global pool, in precedence order:
+/// setGlobalThreadCount() override, the SCG_THREADS environment variable,
+/// std::thread::hardware_concurrency(). A count of 1 is a forced serial
+/// mode: no worker threads are spawned and every region runs inline on the
+/// calling thread.
+///
+/// Nested parallel regions (submissions from inside a worker) run inline
+/// serially on the submitting thread, so nesting can never deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_SUPPORT_THREADPOOL_H
+#define SCG_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace scg {
+
+/// Thread count requested by the SCG_THREADS environment variable, or 0 if
+/// unset/unparsable. Values are clamped to [1, 1024].
+unsigned threadCountFromEnv();
+
+/// Automatic pool size: SCG_THREADS if set, else hardware concurrency
+/// (at least 1).
+unsigned defaultThreadCount();
+
+/// Overrides the size of the process-global pool; 0 restores automatic
+/// sizing. Takes effect on the next ThreadPool::global() call; must not be
+/// called while parallel work is in flight.
+void setGlobalThreadCount(unsigned Count);
+
+/// The size ThreadPool::global() resolves to right now.
+unsigned effectiveThreadCount();
+
+/// Fixed-size pool executing chunked parallel loops. The calling thread
+/// always participates, so a pool of size T uses T-1 workers.
+class ThreadPool {
+public:
+  /// Creates a pool of \p ThreadCount threads (0 = defaultThreadCount()).
+  /// Size 1 spawns no workers and runs everything inline.
+  explicit ThreadPool(unsigned ThreadCount = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return Count; }
+
+  /// Chunk size used for a range of length \p N when the caller passes 0.
+  /// A function of N only -- never of the thread count -- so that chunk
+  /// boundaries, and therefore reduction grouping, are identical at every
+  /// thread count.
+  static uint64_t defaultChunkSize(uint64_t N);
+
+  /// Runs \p Chunk(B, E) over consecutive subranges [B, E) covering
+  /// [\p Begin, \p End) in chunks of \p ChunkSize (0 = default). Chunks are
+  /// claimed by an atomic cursor in index order; the caller participates.
+  /// The first exception thrown by any chunk is rethrown here (remaining
+  /// unstarted chunks are skipped once a chunk has failed).
+  void parallelForChunks(uint64_t Begin, uint64_t End, uint64_t ChunkSize,
+                         const std::function<void(uint64_t, uint64_t)> &Chunk);
+
+  /// Runs \p Body(I) for every I in [\p Begin, \p End), chunked as above.
+  void parallelFor(uint64_t Begin, uint64_t End,
+                   const std::function<void(uint64_t)> &Body,
+                   uint64_t ChunkSize = 0) {
+    parallelForChunks(Begin, End, ChunkSize,
+                      [&Body](uint64_t B, uint64_t E) {
+                        for (uint64_t I = B; I != E; ++I)
+                          Body(I);
+                      });
+  }
+
+  /// Maps [\p Begin, \p End) through \p Map and folds with \p Reduce.
+  /// \p Identity must be the identity of \p Reduce. Each chunk folds its
+  /// indices in ascending order into a per-chunk partial; partials are then
+  /// folded in chunk-index order on the calling thread, so the result is
+  /// byte-identical to the serial left fold whenever \p ChunkSize (or the
+  /// default) is held fixed -- even for non-associative reductions such as
+  /// floating-point sums.
+  template <typename R, typename MapFn, typename ReduceFn>
+  R parallelMapReduce(uint64_t Begin, uint64_t End, R Identity, MapFn Map,
+                      ReduceFn Reduce, uint64_t ChunkSize = 0) {
+    if (Begin >= End)
+      return Identity;
+    uint64_t N = End - Begin;
+    if (ChunkSize == 0)
+      ChunkSize = defaultChunkSize(N);
+    uint64_t NumChunks = (N + ChunkSize - 1) / ChunkSize;
+    std::vector<R> Partials(NumChunks, Identity);
+    parallelForChunks(Begin, End, ChunkSize,
+                      [&](uint64_t B, uint64_t E) {
+                        uint64_t C = (B - Begin) / ChunkSize;
+                        R Acc = std::move(Partials[C]);
+                        for (uint64_t I = B; I != E; ++I)
+                          Acc = Reduce(std::move(Acc), Map(I));
+                        Partials[C] = std::move(Acc);
+                      });
+    R Total = std::move(Identity);
+    for (R &Partial : Partials)
+      Total = Reduce(std::move(Total), std::move(Partial));
+    return Total;
+  }
+
+  /// The process-global pool, sized by effectiveThreadCount() and rebuilt
+  /// when that count changes.
+  static ThreadPool &global();
+
+private:
+  struct Job;
+
+  void workerMain();
+  void runChunks(Job &J);
+
+  unsigned Count;
+  std::vector<std::thread> Workers;
+  std::mutex Mu;
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  std::shared_ptr<Job> Current; ///< job being drained, null when idle.
+  uint64_t Generation = 0;      ///< bumped per job so workers join it once.
+  bool Stop = false;
+};
+
+} // namespace scg
+
+#endif // SCG_SUPPORT_THREADPOOL_H
