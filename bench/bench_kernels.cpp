@@ -1,0 +1,177 @@
+//===- bench/bench_kernels.cpp - Rank-space kernel microbenchmarks -------===//
+//
+// Experiment E20: the hot permutation kernels the whole library sits on --
+// Lehmer rank/unrank, generator composition, the ExplicitScg neighbor-table
+// build, and the BFS-based distance sweeps. These are the numbers the
+// rank-space optimization pass (inline labels, table-driven Lehmer,
+// devirtualized BFS) is measured by; BENCH_kernels.json in the repo root
+// records the committed baseline.
+//
+// Modes:
+//   (default)  human-readable table of all measurements
+//   --json     machine-readable one-object JSON on stdout (for diffing
+//              against BENCH_kernels.json)
+//   --smoke    bounded sizes + result invariants, non-zero exit on any
+//              mismatch; wired into ctest under the perf-smoke label
+//
+// All measurements force a single thread so numbers are comparable across
+// machines and unaffected by the pool size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Metrics.h"
+#include "networks/Explicit.h"
+#include "perm/Lehmer.h"
+#include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace scg;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+struct Measurement {
+  std::string Name;
+  double Ms;
+  uint64_t Check; ///< result value pinning correctness of the timed work.
+};
+
+/// Rank/unrank round trip over all of S_k; Check is the rank sum, which
+/// must equal k! (k! - 1) / 2 when both kernels are exact inverses.
+Measurement lehmerRoundTrip(unsigned K) {
+  uint64_t N = factorial(K);
+  auto Start = Clock::now();
+  uint64_t Acc = 0;
+  for (uint64_t R = 0; R != N; ++R)
+    Acc += rankPermutation(unrankPermutation(R, K));
+  return {"lehmer_roundtrip_k" + std::to_string(K), msSince(Start), Acc};
+}
+
+/// Repeated right composition by a fixed generator-like permutation.
+Measurement composeChain(unsigned K, uint64_t Iterations) {
+  Permutation P = unrankPermutation(factorial(K) / 3, K);
+  Permutation G = unrankPermutation(factorial(K) / 7 + 1, K);
+  auto Start = Clock::now();
+  for (uint64_t I = 0; I != Iterations; ++I)
+    P.composeInto(G, P);
+  benchmark::DoNotOptimize(P);
+  double Ms = msSince(Start);
+  std::string Count = Iterations >= 1000000
+                          ? std::to_string(Iterations / 1000000) + "M"
+                          : std::to_string(Iterations / 1000) + "k";
+  return {"compose_" + Count + "_k" + std::to_string(K), Ms,
+          rankPermutation(P)};
+}
+
+/// Full neighbor-table build of star(k); Check is the table checksum so the
+/// build cannot be optimized away and stays byte-stable.
+Measurement explicitBuild(unsigned K) {
+  SuperCayleyGraph Star = SuperCayleyGraph::star(K);
+  auto Start = Clock::now();
+  ExplicitScg Net(Star);
+  double Ms = msSince(Start);
+  uint64_t Sum = 0;
+  for (NodeId V : Net.nextTable())
+    Sum += V;
+  return {"explicit_build_star" + std::to_string(K), Ms, Sum};
+}
+
+/// Single-source distance stats (one devirtualized BFS) on star(k).
+Measurement vtStats(unsigned K) {
+  ExplicitScg Net(SuperCayleyGraph::star(K));
+  auto Start = Clock::now();
+  BfsResult R = bfsExplicit(Net, 0);
+  return {"vt_stats_star" + std::to_string(K), msSince(Start),
+          R.Eccentricity};
+}
+
+/// All-pairs distance stats (k! BFS sweeps) on star(k).
+Measurement allPairs(unsigned K) {
+  ExplicitScg Net(SuperCayleyGraph::star(K));
+  Graph G = Net.toGraph();
+  auto Start = Clock::now();
+  DistanceStats S = allPairsStats(G);
+  return {"all_pairs_star" + std::to_string(K), msSince(Start), S.Diameter};
+}
+
+std::vector<Measurement> runFull() {
+  return {lehmerRoundTrip(8), lehmerRoundTrip(9), composeChain(9, 5000000),
+          explicitBuild(8),   explicitBuild(9),   vtStats(8),
+          vtStats(9),         allPairs(7)};
+}
+
+void printTable(const std::vector<Measurement> &Ms) {
+  std::printf("E20: rank-space kernel microbenchmarks (single thread)\n\n");
+  TextTable Table;
+  Table.setHeader({"kernel", "wall ms", "check"});
+  for (const Measurement &M : Ms)
+    Table.addRow({M.Name, formatDouble(M.Ms, 2), std::to_string(M.Check)});
+  std::printf("%s\n", Table.render().c_str());
+}
+
+void printJson(const std::vector<Measurement> &Ms) {
+  std::printf("{\n");
+  for (size_t I = 0; I != Ms.size(); ++I)
+    std::printf("  \"%s\": {\"ms\": %.2f, \"check\": %llu}%s\n",
+                Ms[I].Name.c_str(), Ms[I].Ms,
+                (unsigned long long)Ms[I].Check,
+                I + 1 == Ms.size() ? "" : ",");
+  std::printf("}\n");
+}
+
+/// Bounded sizes, invariant-checked: the perf-smoke ctest entry. Exercises
+/// every kernel the full run does, at sizes that finish in about a second.
+int runSmoke() {
+  int Failures = 0;
+  auto Expect = [&](const Measurement &M, uint64_t Want) {
+    bool Ok = M.Check == Want;
+    std::printf("%-24s %8.2f ms  check %llu %s\n", M.Name.c_str(), M.Ms,
+                (unsigned long long)M.Check, Ok ? "ok" : "MISMATCH");
+    Failures += !Ok;
+  };
+  uint64_t N8 = factorial(8);
+  Expect(lehmerRoundTrip(8), N8 * (N8 - 1) / 2);
+  // Pinned endpoint rank of the deterministic 100k-hop chain.
+  Expect(composeChain(9, 100000), 5040);
+  // star(7): 5040 nodes; table checksum = sum over all (u, g) of next(u, g).
+  // Every node appears as a neighbor exactly degree times (the generator
+  // action is a bijection per g), so the sum is degree * sum(node ids).
+  uint64_t N7 = factorial(7);
+  Expect(explicitBuild(7), 6 * (N7 * (N7 - 1) / 2));
+  Expect(vtStats(7), 9);  // star(7) diameter, vertex-transitive.
+  Expect(allPairs(6), 7); // star(6) diameter (paper: floor(3(k-1)/2)).
+  return Failures ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  setGlobalThreadCount(1);
+  bool Json = false, Smoke = false;
+  for (int I = 1; I != argc; ++I) {
+    Json |= std::strcmp(argv[I], "--json") == 0;
+    Smoke |= std::strcmp(argv[I], "--smoke") == 0;
+  }
+  if (Smoke)
+    return runSmoke();
+  std::vector<Measurement> Ms = runFull();
+  if (Json)
+    printJson(Ms);
+  else
+    printTable(Ms);
+  return 0;
+}

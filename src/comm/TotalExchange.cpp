@@ -12,11 +12,7 @@ using namespace scg;
 uint64_t scg::teLowerBound(const ExplicitScg &Net) {
   // Vertex transitivity: one BFS gives every node's distance sum. Total
   // packet-hops N * sum over N * degree link capacity per step.
-  BfsResult R = bfsImplicit(
-      Net.numNodes(), 0, [&Net](NodeId U, const std::function<void(NodeId)> &Sink) {
-        for (GenIndex G = 0; G != Net.degree(); ++G)
-          Sink(Net.next(U, G));
-      });
+  BfsResult R = bfsExplicit(Net, 0);
   assert(R.NumReached == Net.numNodes() && "network is disconnected");
   return (R.DistanceSum + Net.degree() - 1) / Net.degree();
 }

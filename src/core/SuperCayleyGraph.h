@@ -112,6 +112,13 @@ public:
     return U.applyGenerator(Gens[I].Sigma);
   }
 
+  /// Computes the neighbor of \p U along generator \p I into \p V without
+  /// allocating: one hop is a single in-place composition. \p V may alias
+  /// \p U, so `Net.neighborInto(Cur, G, Cur)` walks a path in place.
+  void neighborInto(const Permutation &U, GenIndex I, Permutation &V) const {
+    U.composeInto(Gens[I].Sigma, V);
+  }
+
   /// Returns all out-neighbors of \p U in generator order.
   std::vector<Permutation> neighbors(const Permutation &U) const;
 

@@ -9,6 +9,38 @@
 
 using namespace scg;
 
+namespace {
+
+/// Host-side usage counters for load and congestion. The domains are all of
+/// S_k (node ranks) and S_k x degree (directed links), so for small k both
+/// live in flat rank-indexed vectors -- no hashing on the per-hop path. For
+/// hosts too large to afford k!-sized tables, rank-keyed hash maps back the
+/// same interface.
+class HostUseCounters {
+public:
+  HostUseCounters(uint64_t NumNodes, unsigned Degree)
+      : Dense(NumNodes <= 362880 /* 9! */) {
+    if (Dense) {
+      NodeUse.assign(NumNodes, 0);
+      LinkUse.assign(NumNodes * Degree, 0);
+    }
+  }
+
+  uint32_t bumpNode(uint64_t Rank) {
+    return Dense ? ++NodeUse[Rank] : ++NodeMap[Rank];
+  }
+  uint32_t bumpLink(uint64_t LinkKey) {
+    return Dense ? ++LinkUse[LinkKey] : ++LinkMap[LinkKey];
+  }
+
+private:
+  bool Dense;
+  std::vector<uint32_t> NodeUse, LinkUse;
+  std::unordered_map<uint64_t, uint32_t> NodeMap, LinkMap;
+};
+
+} // namespace
+
 EmbeddingMetrics scg::measureEmbedding(const Graph &Guest,
                                        const Embedding &E) {
   assert(E.Host && "embedding must name a host");
@@ -18,11 +50,13 @@ EmbeddingMetrics scg::measureEmbedding(const Graph &Guest,
   EmbeddingMetrics Metrics;
   Metrics.Valid = true;
 
-  // Load: multiplicity of host labels.
-  std::unordered_map<Permutation, unsigned, PermutationHash> Multiplicity;
+  unsigned Degree = Host.degree();
+  HostUseCounters Use(Host.numNodes(), Degree);
+
+  // Load: multiplicity of host labels, by rank.
   for (const Permutation &P : E.NodeMap) {
     assert(P.size() == Host.numSymbols() && "label size mismatch");
-    Metrics.Load = std::max(Metrics.Load, ++Multiplicity[P]);
+    Metrics.Load = std::max(Metrics.Load, Use.bumpNode(rankPermutation(P)));
   }
   Metrics.Expansion =
       Guest.numNodes()
@@ -30,8 +64,6 @@ EmbeddingMetrics scg::measureEmbedding(const Graph &Guest,
           : 0.0;
 
   // Dilation and congestion over all directed guest edges.
-  std::unordered_map<uint64_t, uint32_t> LinkUse;
-  unsigned Degree = Host.degree();
   uint64_t EdgeCount = 0, HopTotal = 0;
   for (NodeId U = 0; U != Guest.numNodes(); ++U) {
     for (NodeId V : Guest.neighbors(U)) {
@@ -46,9 +78,9 @@ EmbeddingMetrics scg::measureEmbedding(const Graph &Guest,
       Permutation Cur = E.NodeMap[U];
       for (GenIndex G : Path.hops()) {
         uint64_t Key = rankPermutation(Cur) * Degree + G;
-        Metrics.Congestion = std::max<uint64_t>(Metrics.Congestion,
-                                                ++LinkUse[Key]);
-        Cur = Host.neighbor(Cur, G);
+        Metrics.Congestion =
+            std::max<uint64_t>(Metrics.Congestion, Use.bumpLink(Key));
+        Host.neighborInto(Cur, G, Cur);
       }
     }
   }

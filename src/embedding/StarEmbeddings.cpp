@@ -6,7 +6,6 @@
 #include "perm/Lehmer.h"
 
 #include <cassert>
-#include <unordered_map>
 
 using namespace scg;
 
@@ -24,16 +23,18 @@ uint64_t scg::starDimensionCongestion(const SuperCayleyGraph &Host,
   // Route the dimension-Dim link of every node U (both directions are the
   // same template since T_Dim is an involution and the path is symmetric in
   // its effect; we route from every U, which covers both directions).
-  std::unordered_map<uint64_t, uint32_t> LinkUse;
   uint64_t Congestion = 0;
   uint64_t N = factorial(K);
   unsigned Degree = Host.degree();
+  // The template is walked from every element of S_k, so link usage covers
+  // the full N x degree domain: count in a flat rank-indexed table.
+  std::vector<uint32_t> LinkUse(N * Degree, 0);
   for (uint64_t Rank = 0; Rank != N; ++Rank) {
     Permutation Cur = unrankPermutation(Rank, K);
     for (GenIndex G : Template.hops()) {
       uint64_t Key = rankPermutation(Cur) * Degree + G;
       Congestion = std::max<uint64_t>(Congestion, ++LinkUse[Key]);
-      Cur = Host.neighbor(Cur, G);
+      Host.neighborInto(Cur, G, Cur);
     }
   }
   return Congestion;

@@ -3,45 +3,24 @@
 #include "graph/Bfs.h"
 
 #include <cassert>
-#include <deque>
 
 using namespace scg;
 
 BfsResult scg::bfs(const Graph &G, NodeId Source) {
-  return bfsImplicit(G.numNodes(), Source,
-                     [&G](NodeId Node, const std::function<void(NodeId)> &Sink) {
-                       for (NodeId Next : G.neighbors(Node))
-                         Sink(Next);
-                     });
+  // Concrete functor: the adjacency-span walk inlines into the core loop.
+  return bfsCore(G.numNodes(), Source, [&G](NodeId Node, auto &&Sink) {
+    for (NodeId Next : G.neighbors(Node))
+      Sink(Next);
+  });
 }
 
 BfsResult scg::bfsImplicit(uint64_t NumNodes, NodeId Source,
                            const NeighborFn &Neighbors) {
-  assert(Source < NumNodes && "source out of range");
-  BfsResult Result;
-  Result.Distance.assign(NumNodes, UnreachableDistance);
-  Result.Parent.assign(NumNodes, 0);
-  Result.Distance[Source] = 0;
-  Result.Parent[Source] = Source;
-  Result.NumReached = 1;
-
-  std::deque<NodeId> Queue;
-  Queue.push_back(Source);
-  while (!Queue.empty()) {
-    NodeId Node = Queue.front();
-    Queue.pop_front();
-    uint32_t NextDist = Result.Distance[Node] + 1;
-    Neighbors(Node, [&](NodeId Next) {
-      assert(Next < NumNodes && "neighbor out of range");
-      if (Result.Distance[Next] != UnreachableDistance)
-        return;
-      Result.Distance[Next] = NextDist;
-      Result.Parent[Next] = Node;
-      Result.Eccentricity = NextDist;
-      Result.DistanceSum += NextDist;
-      ++Result.NumReached;
-      Queue.push_back(Next);
-    });
-  }
-  return Result;
+  // The legacy type-erased form: the enumerator stays a std::function, but
+  // the sink handed to it must also be type-erased to match NeighborFn.
+  return bfsCore(NumNodes, Source,
+                 [&Neighbors](NodeId Node, auto &&Sink) {
+                   std::function<void(NodeId)> ErasedSink = Sink;
+                   Neighbors(Node, ErasedSink);
+                 });
 }

@@ -10,6 +10,15 @@
 /// without materializing adjacency: the caller supplies a neighbor callback
 /// over dense node ids (typically Lehmer ranks).
 ///
+/// The engine is bfsCore, a neighbor-functor template: the enumeration
+/// callback and the visit sink are inlined at the call site (no
+/// std::function dispatch per edge), and the FIFO is a flat vector with a
+/// head cursor -- every node is enqueued at most once, so the queue never
+/// wraps and one reservation serves the whole traversal. bfs() and the
+/// legacy bfsImplicit() are thin adapters over it; hot paths that know
+/// their neighbor structure statically (Metrics via bfs, ExplicitScg via
+/// bfsExplicit) get fully devirtualized loops.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCG_GRAPH_BFS_H
@@ -41,15 +50,56 @@ struct BfsResult {
   uint64_t DistanceSum = 0;
 };
 
+/// BFS from \p Source over an implicit graph on \p NumNodes nodes whose
+/// adjacency is enumerated by \p Neighbors(Node, Sink): any callable that
+/// invokes Sink(NeighborId) for each out-neighbor of Node. Both the
+/// enumerator and the sink are statically typed, so the whole visit loop
+/// inlines; there is no per-edge virtual or std::function dispatch.
+template <typename NeighborForEach>
+BfsResult bfsCore(uint64_t NumNodes, NodeId Source,
+                  NeighborForEach &&Neighbors) {
+  assert(Source < NumNodes && "source out of range");
+  BfsResult Result;
+  Result.Distance.assign(NumNodes, UnreachableDistance);
+  Result.Parent.assign(NumNodes, 0);
+  Result.Distance[Source] = 0;
+  Result.Parent[Source] = Source;
+  Result.NumReached = 1;
+
+  // Flat FIFO: nodes are enqueued exactly once, so a vector with a head
+  // cursor is a ring that never wraps.
+  std::vector<NodeId> Queue;
+  Queue.reserve(NumNodes);
+  Queue.push_back(Source);
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    NodeId Node = Queue[Head];
+    uint32_t NextDist = Result.Distance[Node] + 1;
+    Neighbors(Node, [&](NodeId Next) {
+      assert(Next < NumNodes && "neighbor out of range");
+      if (Result.Distance[Next] != UnreachableDistance)
+        return;
+      Result.Distance[Next] = NextDist;
+      Result.Parent[Next] = Node;
+      Result.Eccentricity = NextDist;
+      Result.DistanceSum += NextDist;
+      ++Result.NumReached;
+      Queue.push_back(Next);
+    });
+  }
+  return Result;
+}
+
 /// BFS from \p Source over the explicit graph \p G.
 BfsResult bfs(const Graph &G, NodeId Source);
 
 /// Callback enumerating out-neighbors of a node: invoked with the node id,
-/// must call the sink for each neighbor.
+/// must call the sink for each neighbor. Type-erased legacy form; prefer
+/// bfsCore with a concrete functor on hot paths.
 using NeighborFn =
     std::function<void(NodeId, const std::function<void(NodeId)> &)>;
 
 /// BFS from \p Source over an implicit graph on \p NumNodes nodes.
+/// Adapter over bfsCore for callers holding a type-erased NeighborFn.
 BfsResult bfsImplicit(uint64_t NumNodes, NodeId Source,
                       const NeighborFn &Neighbors);
 

@@ -4,8 +4,8 @@
 
 #include "perm/Lehmer.h"
 
+#include <bit>
 #include <cassert>
-#include <map>
 #include <set>
 
 using namespace scg;
@@ -16,21 +16,32 @@ ClusterStructure::ClusterStructure(const ExplicitScg &Net) : Net(Net) {
   unsigned N = Scg.ballsPerBox();
   unsigned K = Scg.numSymbols();
 
+  // The cluster signature is the ordered suffix of symbols at positions
+  // n+1 .. k-1: an arrangement of k - n - 1 of the k symbols, which has a
+  // dense mixed-radix rank in [0, k!/(n+1)!) -- exactly the cluster count.
+  // Rank it with the same remaining-symbol bitmask used by Lehmer ranking
+  // and assign ids through a flat first-encounter table instead of an
+  // ordered map of suffix vectors.
+  uint64_t KeySpace = factorial(K) / factorial(N + 1);
+  std::vector<uint32_t> IdOfKey(KeySpace, UINT32_MAX);
   Labels.resize(Net.numNodes());
-  std::map<std::vector<uint8_t>, uint32_t> Ids;
+  uint32_t NextId = 0;
   for (NodeId U = 0; U != Net.numNodes(); ++U) {
     Permutation Label = Net.label(U);
-    // The cluster signature: symbols outside the outside-ball slot and the
-    // leftmost box (0-based positions n+1 .. k-1).
-    std::vector<uint8_t> Suffix;
-    Suffix.reserve(K - N - 1);
-    for (unsigned P = N + 1; P != K; ++P)
-      Suffix.push_back(Label[P]);
-    auto [It, Inserted] = Ids.emplace(std::move(Suffix), Ids.size());
-    Labels[U] = It->second;
-    (void)Inserted;
+    uint32_t Remaining = ~0u >> (32 - K);
+    uint64_t Key = 0;
+    for (unsigned P = N + 1; P != K; ++P) {
+      uint32_t Bit = 1u << Label[P];
+      Key = Key * (K - (P - N - 1)) +
+            std::popcount(Remaining & (Bit - 1u));
+      Remaining ^= Bit;
+    }
+    uint32_t &Id = IdOfKey[Key];
+    if (Id == UINT32_MAX)
+      Id = NextId++;
+    Labels[U] = Id;
   }
-  Count = Ids.size();
+  Count = NextId;
   Size = Net.numNodes() / Count;
   assert(Count * Size == Net.numNodes() && "uneven clusters");
   assert(Size == factorial(N + 1) && "cluster is not a nucleus network");

@@ -3,6 +3,7 @@
 #include "networks/Explicit.h"
 
 #include "perm/Lehmer.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -15,13 +16,22 @@ ExplicitScg::ExplicitScg(SuperCayleyGraph Network) : Net(std::move(Network)) {
   Count = static_cast<NodeId>(N);
   unsigned Degree = Net.degree();
   Next.resize(N * Degree);
-  for (uint64_t U = 0; U != N; ++U) {
-    Permutation Label = unrankPermutation(U, K);
-    for (GenIndex G = 0; G != Degree; ++G) {
-      Permutation V = Net.neighbor(Label, G);
-      Next[U * Degree + G] = static_cast<NodeId>(rankPermutation(V));
-    }
-  }
+  // Each slot Next[U * Degree + G] is a pure function of (U, G) and is
+  // written exactly once, so any chunking of the rank range produces the
+  // identical table; the sweep parallelizes over rank chunks on the global
+  // pool (SCG_THREADS=1 forces the serial build).
+  ThreadPool::global().parallelForChunks(
+      0, N, /*ChunkSize=*/0, [&](uint64_t Begin, uint64_t End) {
+        Permutation Neighbor;
+        for (uint64_t U = Begin; U != End; ++U) {
+          Permutation Label = unrankPermutation(U, K);
+          for (GenIndex G = 0; G != Degree; ++G) {
+            Net.neighborInto(Label, G, Neighbor);
+            Next[U * Degree + G] = static_cast<NodeId>(
+                rankPermutation(Neighbor));
+          }
+        }
+      });
 }
 
 Permutation ExplicitScg::label(NodeId U) const {
@@ -40,4 +50,15 @@ Graph ExplicitScg::toGraph() const {
     for (GenIndex Gen = 0; Gen != degree(); ++Gen)
       G.addEdge(U, next(U, Gen));
   return G;
+}
+
+BfsResult scg::bfsExplicit(const ExplicitScg &Net, NodeId Source) {
+  const std::vector<NodeId> &Table = Net.nextTable();
+  unsigned Degree = Net.degree();
+  return bfsCore(Net.numNodes(), Source,
+                 [&Table, Degree](NodeId Node, auto &&Sink) {
+                   const NodeId *Row = Table.data() + uint64_t(Node) * Degree;
+                   for (unsigned G = 0; G != Degree; ++G)
+                     Sink(Row[G]);
+                 });
 }

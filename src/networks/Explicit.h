@@ -10,12 +10,20 @@
 /// the per-link generator labels, which routing, embedding congestion, and
 /// the simulator all need.
 ///
+/// Construction is embarrassingly parallel: every Next-table slot is a pure
+/// function of its rank (unrank, compose, re-rank), so the builder sweeps
+/// rank chunks on the global ThreadPool. Each slot is written exactly once
+/// regardless of chunking, so the table is byte-identical at every thread
+/// count (pinned by tests/KernelDifferentialTest.cpp); SCG_THREADS=1 forces
+/// the serial build.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCG_NETWORKS_EXPLICIT_H
 #define SCG_NETWORKS_EXPLICIT_H
 
 #include "core/SuperCayleyGraph.h"
+#include "graph/Bfs.h"
 #include "graph/Graph.h"
 
 namespace scg {
@@ -39,6 +47,10 @@ public:
     return Next[uint64_t(U) * degree() + G];
   }
 
+  /// The whole Count x degree neighbor table, row-major by node id. For
+  /// whole-table consumers (differential tests, serialization).
+  const std::vector<NodeId> &nextTable() const { return Next; }
+
   /// Label of node \p U (unranked on demand).
   Permutation label(NodeId U) const;
 
@@ -53,6 +65,11 @@ private:
   NodeId Count;
   std::vector<NodeId> Next; ///< Count x degree neighbor table.
 };
+
+/// BFS from \p Source straight over the Next table: the neighbor walk is a
+/// contiguous row read, fully inlined through bfsCore (no Graph
+/// materialization, no callback indirection).
+BfsResult bfsExplicit(const ExplicitScg &Net, NodeId Source);
 
 } // namespace scg
 

@@ -2,64 +2,103 @@
 
 #include "perm/Lehmer.h"
 
+#include <array>
+#include <bit>
 #include <cassert>
 
 using namespace scg;
 
+namespace {
+
+/// 0! .. 20!, the whole range representable in 64 bits.
+constexpr std::array<uint64_t, 21> Factorials = [] {
+  std::array<uint64_t, 21> T{};
+  T[0] = 1;
+  for (unsigned I = 1; I != T.size(); ++I)
+    T[I] = T[I - 1] * I;
+  return T;
+}();
+
+/// Isolates the \p Index-th (0-based, from the LSB) set bit of \p Mask.
+/// \p Mask must have more than \p Index set bits. Each clear-lowest step is
+/// one and/sub, so selecting digit c costs c single-cycle ops (c < 16).
+inline uint32_t selectBit(uint32_t Mask, unsigned Index) {
+  for (; Index != 0; --Index)
+    Mask &= Mask - 1; // clear lowest set bit.
+  return Mask & (~Mask + 1u);
+}
+
+} // namespace
+
 uint64_t scg::factorial(unsigned K) {
   assert(K <= 20 && "k! overflows uint64_t beyond k = 20");
-  uint64_t Result = 1;
-  for (unsigned I = 2; I <= K; ++I)
-    Result *= I;
-  return Result;
+  return Factorials[K];
 }
 
 std::vector<uint8_t> scg::lehmerCode(const Permutation &P) {
+  // Generic any-k form: c_i = |{j > i : P[j] < P[i]}|. Quadratic, but this
+  // is the symbolic-analysis entry point (k up to 255), not the rank kernel.
   unsigned K = P.size();
   std::vector<uint8_t> Code(K, 0);
   for (unsigned I = 0; I != K; ++I) {
-    unsigned Smaller = 0;
+    unsigned Count = 0;
     for (unsigned J = I + 1; J != K; ++J)
-      if (P[J] < P[I])
-        ++Smaller;
-    Code[I] = static_cast<uint8_t>(Smaller);
+      Count += P[J] < P[I];
+    Code[I] = static_cast<uint8_t>(Count);
   }
   return Code;
 }
 
 Permutation scg::fromLehmerCode(const std::vector<uint8_t> &Code) {
   unsigned K = Code.size();
-  // Remaining symbols in increasing order; c_i selects the c_i-th remaining.
-  std::vector<uint8_t> Remaining;
-  Remaining.reserve(K);
+  assert(K <= 255 && "symbols are stored as uint8_t");
+  std::vector<uint8_t> Pool(K);
   for (unsigned I = 0; I != K; ++I)
-    Remaining.push_back(static_cast<uint8_t>(I));
-  std::vector<uint8_t> OneLine;
-  OneLine.reserve(K);
+    Pool[I] = static_cast<uint8_t>(I);
+  std::vector<uint8_t> Word(K);
   for (unsigned I = 0; I != K; ++I) {
-    assert(Code[I] < Remaining.size() && "Lehmer digit out of range");
-    OneLine.push_back(Remaining[Code[I]]);
-    Remaining.erase(Remaining.begin() + Code[I]);
+    assert(Code[I] < K - I && "Lehmer digit out of range");
+    Word[I] = Pool[Code[I]];
+    Pool.erase(Pool.begin() + Code[I]);
   }
-  return Permutation::fromOneLine(std::move(OneLine));
+  return Permutation::fromWord(Word.data(), K);
 }
 
 uint64_t scg::rankPermutation(const Permutation &P) {
   unsigned K = P.size();
-  std::vector<uint8_t> Code = lehmerCode(P);
+  assert(K <= Permutation::InlineCapacity &&
+         "rank kernel covers the inline (enumerable) regime only");
+  // c_i = |{j > i : P[j] < P[i]}| = number of not-yet-seen symbols smaller
+  // than P[i]; track "not yet seen" as a bitmask and popcount a prefix.
+  uint32_t Remaining = (K == 0) ? 0 : (~0u >> (32 - K));
   uint64_t Rank = 0;
-  for (unsigned I = 0; I != K; ++I)
-    Rank = Rank * (K - I) + Code[I];
+  for (unsigned I = 0; I != K; ++I) {
+    uint32_t Bit = 1u << P[I];
+    Rank += uint64_t(std::popcount(Remaining & (Bit - 1u))) *
+            Factorials[K - 1 - I];
+    Remaining ^= Bit;
+  }
   return Rank;
 }
 
 Permutation scg::unrankPermutation(uint64_t Rank, unsigned K) {
+  assert(K <= Permutation::InlineCapacity &&
+         "unrank kernel covers the inline (enumerable) regime only");
   assert(Rank < factorial(K) && "rank out of range");
-  std::vector<uint8_t> Code(K, 0);
+  // Digits low-to-high (small radices), then symbols high-to-low by
+  // select-bit against the remaining-symbol mask.
+  uint8_t Code[Permutation::InlineCapacity];
   for (unsigned I = K; I != 0; --I) {
     unsigned Radix = K - I + 1; // digit I-1 has radix K - (I-1).
     Code[I - 1] = static_cast<uint8_t>(Rank % Radix);
     Rank /= Radix;
   }
-  return fromLehmerCode(Code);
+  uint32_t Remaining = (K == 0) ? 0 : (~0u >> (32 - K));
+  uint8_t Word[Permutation::InlineCapacity];
+  for (unsigned I = 0; I != K; ++I) {
+    uint32_t Bit = selectBit(Remaining, Code[I]);
+    Word[I] = static_cast<uint8_t>(std::countr_zero(Bit));
+    Remaining ^= Bit;
+  }
+  return Permutation::fromWord(Word, K);
 }

@@ -12,6 +12,11 @@
 /// mixed-radix coordinate system of the 2x3x...xk mesh embedding
 /// (Corollary 7 / [11]).
 ///
+/// The rank/unrank kernels are allocation-free and table-driven: factorials
+/// come from a precomputed table, and the "symbols remaining" set is a
+/// 16-bit mask, so each Lehmer digit is one masked popcount (ranking) or one
+/// select-bit (unranking) instead of the textbook O(k) scan per digit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCG_PERM_LEHMER_H
@@ -24,6 +29,7 @@
 namespace scg {
 
 /// Returns k! as a 64-bit value; asserts k <= 20 (the last k where k! fits).
+/// A table lookup, valid in constant expressions.
 uint64_t factorial(unsigned K);
 
 /// Returns the Lehmer code (c_0, ..., c_{k-1}) of \p P, where c_i counts the
@@ -35,9 +41,11 @@ std::vector<uint8_t> lehmerCode(const Permutation &P);
 Permutation fromLehmerCode(const std::vector<uint8_t> &Code);
 
 /// Ranks \p P into [0, k!) lexicographically (identity has rank 0).
+/// Allocation-free: one masked popcount per symbol.
 uint64_t rankPermutation(const Permutation &P);
 
 /// Inverse of rankPermutation for permutations on \p K symbols.
+/// Allocation-free (the result is an inline-storage value).
 Permutation unrankPermutation(uint64_t Rank, unsigned K);
 
 } // namespace scg

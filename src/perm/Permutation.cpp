@@ -5,31 +5,66 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <bitset>
 #include <sstream>
 
 using namespace scg;
 
+#ifndef NDEBUG
+/// Debug-only: \p Word holds each of 0..K-1 exactly once.
+static bool isPermutationWord(const uint8_t *Word, unsigned K) {
+  std::bitset<256> Seen;
+  for (unsigned I = 0; I != K; ++I) {
+    if (Word[I] >= K || Seen[Word[I]])
+      return false;
+    Seen[Word[I]] = true;
+  }
+  return true;
+}
+#endif
+
+uint8_t *Permutation::resizeUninit(unsigned K) {
+  assert(K <= 255 && "symbols are stored as uint8_t");
+  destroy();
+  Size = static_cast<uint8_t>(K);
+  if (isInline()) {
+    std::memset(Inline, 0, InlineCapacity);
+    return Inline;
+  }
+  Heap = new uint8_t[K];
+  return Heap;
+}
+
+void Permutation::composeIntoSlow(const Permutation &Rhs,
+                                  Permutation &Out) const {
+  // Spilled sizes: compose through a temporary so Out may alias an operand.
+  Permutation Result;
+  uint8_t *Word = Result.resizeUninit(Size);
+  const uint8_t *A = data(), *B = Rhs.data();
+  for (unsigned P = 0; P != Size; ++P)
+    Word[P] = A[B[P]];
+  Out = std::move(Result);
+}
+
 Permutation Permutation::identity(unsigned K) {
   Permutation P;
-  P.Entries.resize(K);
+  uint8_t *Word = P.resizeUninit(K);
   for (unsigned I = 0; I != K; ++I)
-    P.Entries[I] = static_cast<uint8_t>(I);
+    Word[I] = static_cast<uint8_t>(I);
+  return P;
+}
+
+Permutation Permutation::fromWord(const uint8_t *Word, unsigned K) {
+  assert(isPermutationWord(Word, K) && "word is not a permutation of 0..K-1");
+  Permutation P;
+  uint8_t *Dst = P.resizeUninit(K);
+  if (K != 0)
+    std::memcpy(Dst, Word, K);
   return P;
 }
 
 Permutation Permutation::fromOneLine(std::vector<uint8_t> OneLine) {
-  assert(OneLine.size() < 256 && "permutation too large for uint8_t symbols");
-#ifndef NDEBUG
-  std::vector<bool> Seen(OneLine.size(), false);
-  for (uint8_t E : OneLine) {
-    assert(E < OneLine.size() && "symbol out of range");
-    assert(!Seen[E] && "duplicate symbol in one-line notation");
-    Seen[E] = true;
-  }
-#endif
-  Permutation P;
-  P.Entries = std::move(OneLine);
-  return P;
+  return fromWord(OneLine.data(), OneLine.size());
 }
 
 Permutation Permutation::parseOneBased(const std::string &Text) {
@@ -42,7 +77,9 @@ Permutation Permutation::parseOneBased(const std::string &Text) {
     OneLine.push_back(static_cast<uint8_t>(Value - 1));
   }
   // Validate: must be a permutation of 0..size-1.
-  std::vector<bool> Seen(OneLine.size(), false);
+  if (OneLine.size() > 255)
+    return Permutation();
+  std::bitset<256> Seen;
   for (uint8_t E : OneLine) {
     if (E >= OneLine.size() || Seen[E])
       return Permutation();
@@ -51,50 +88,39 @@ Permutation Permutation::parseOneBased(const std::string &Text) {
   return fromOneLine(std::move(OneLine));
 }
 
-Permutation Permutation::compose(const Permutation &Rhs) const {
-  assert(size() == Rhs.size() && "size mismatch in composition");
-  Permutation Result;
-  Result.Entries.resize(size());
-  for (unsigned P = 0; P != size(); ++P)
-    Result.Entries[P] = Entries[Rhs.Entries[P]];
-  return Result;
-}
-
 Permutation Permutation::inverse() const {
   Permutation Result;
-  Result.Entries.resize(size());
-  for (unsigned P = 0; P != size(); ++P)
-    Result.Entries[Entries[P]] = static_cast<uint8_t>(P);
+  uint8_t *Word = Result.resizeUninit(Size);
+  const uint8_t *Src = data();
+  for (unsigned P = 0; P != Size; ++P)
+    Word[Src[P]] = static_cast<uint8_t>(P);
   return Result;
 }
 
 unsigned Permutation::positionOf(uint8_t Symbol) const {
-  for (unsigned P = 0; P != size(); ++P)
-    if (Entries[P] == Symbol)
+  const uint8_t *Word = data();
+  for (unsigned P = 0; P != Size; ++P)
+    if (Word[P] == Symbol)
       return P;
   assert(false && "symbol not present");
-  return size();
+  return Size;
 }
 
-bool Permutation::isIdentity() const {
-  for (unsigned P = 0; P != size(); ++P)
-    if (Entries[P] != P)
-      return false;
-  return true;
-}
+bool Permutation::isIdentity() const { return *this == identity(Size); }
 
 std::vector<std::vector<uint8_t>> Permutation::nontrivialCycles() const {
+  const uint8_t *Word = data();
   std::vector<std::vector<uint8_t>> Cycles;
-  std::vector<bool> Visited(size(), false);
-  for (unsigned Start = 0; Start != size(); ++Start) {
-    if (Visited[Start] || Entries[Start] == Start)
+  std::bitset<256> Visited;
+  for (unsigned Start = 0; Start != Size; ++Start) {
+    if (Visited[Start] || Word[Start] == Start)
       continue;
     std::vector<uint8_t> Cycle;
     unsigned Cur = Start;
     while (!Visited[Cur]) {
       Visited[Cur] = true;
       Cycle.push_back(static_cast<uint8_t>(Cur));
-      Cur = Entries[Cur];
+      Cur = Word[Cur];
     }
     Cycles.push_back(std::move(Cycle));
   }
@@ -102,46 +128,50 @@ std::vector<std::vector<uint8_t>> Permutation::nontrivialCycles() const {
 }
 
 unsigned Permutation::numDisplaced() const {
+  const uint8_t *Word = data();
   unsigned Count = 0;
-  for (unsigned P = 0; P != size(); ++P)
-    if (Entries[P] != P)
+  for (unsigned P = 0; P != Size; ++P)
+    if (Word[P] != P)
       ++Count;
   return Count;
 }
 
 int Permutation::sign() const {
   // Parity = (-1)^(k - number of cycles including fixed points).
+  const uint8_t *Word = data();
   unsigned NumCycles = 0;
-  std::vector<bool> Visited(size(), false);
-  for (unsigned Start = 0; Start != size(); ++Start) {
+  std::bitset<256> Visited;
+  for (unsigned Start = 0; Start != Size; ++Start) {
     if (Visited[Start])
       continue;
     ++NumCycles;
     unsigned Cur = Start;
     while (!Visited[Cur]) {
       Visited[Cur] = true;
-      Cur = Entries[Cur];
+      Cur = Word[Cur];
     }
   }
-  return ((size() - NumCycles) % 2 == 0) ? 1 : -1;
+  return ((Size - NumCycles) % 2 == 0) ? 1 : -1;
 }
 
 std::string Permutation::str() const {
+  const uint8_t *Word = data();
   std::vector<unsigned> OneBased;
-  OneBased.reserve(size());
-  for (uint8_t E : Entries)
-    OneBased.push_back(E + 1u);
+  OneBased.reserve(Size);
+  for (unsigned P = 0; P != Size; ++P)
+    OneBased.push_back(Word[P] + 1u);
   return join(OneBased, " ");
 }
 
 std::string Permutation::strBoxes(unsigned N) const {
-  assert(N != 0 && (size() - 1) % N == 0 &&
+  assert(N != 0 && (Size - 1) % N == 0 &&
          "label length must be l*n+1 for the boxes view");
+  const uint8_t *Word = data();
   std::ostringstream OS;
-  OS << unsigned(Entries[0]) + 1;
-  for (unsigned P = 1; P != size(); ++P) {
+  OS << unsigned(Word[0]) + 1;
+  for (unsigned P = 1; P != Size; ++P) {
     OS << (((P - 1) % N == 0) ? " | " : " ");
-    OS << unsigned(Entries[P]) + 1;
+    OS << unsigned(Word[P]) + 1;
   }
   return OS.str();
 }

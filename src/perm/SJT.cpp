@@ -16,7 +16,7 @@ bool SjtEnumerator::advance() {
   unsigned K = Current.size();
   // Find the largest mobile symbol: a symbol whose direction points at a
   // smaller adjacent symbol.
-  const std::vector<uint8_t> &Line = Current.oneLine();
+  std::span<const uint8_t> Line = Current.oneLine();
   int BestSymbol = -1;
   unsigned BestPos = 0;
   for (unsigned Pos = 0; Pos != K; ++Pos) {
@@ -35,7 +35,7 @@ bool SjtEnumerator::advance() {
 
   int Dir = Direction[BestSymbol];
   unsigned NewPos = BestPos + Dir;
-  std::vector<uint8_t> Next = Line;
+  std::vector<uint8_t> Next(Line.begin(), Line.end());
   std::swap(Next[BestPos], Next[NewPos]);
   Current = Permutation::fromOneLine(std::move(Next));
   LastSwap = std::min(BestPos, NewPos);

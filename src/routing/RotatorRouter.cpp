@@ -25,7 +25,7 @@ scg::rotatorWordForPermutation(const Permutation &P) {
   // Sorting C = P^-1 to the identity by right multiplication yields a word
   // whose product is P.
   unsigned K = P.size();
-  std::vector<uint8_t> Word(P.inverse().oneLine());
+  std::vector<uint8_t> Word = P.inverse().oneLineVector();
   std::vector<unsigned> Dims;
 
   // Fix positions from the right; positions > Pos never move again because

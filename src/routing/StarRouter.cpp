@@ -14,7 +14,7 @@ static void sortToIdentity(Permutation C, std::vector<unsigned> &Dims) {
   auto ApplyT = [&C](unsigned J) {
     // Right multiplication by T_J exchanges the entries at positions 0 and
     // J-1 of the one-line word.
-    std::vector<uint8_t> Word(C.oneLine());
+    std::vector<uint8_t> Word = C.oneLineVector();
     std::swap(Word[0], Word[J - 1]);
     C = Permutation::fromOneLine(std::move(Word));
   };

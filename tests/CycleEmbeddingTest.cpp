@@ -46,7 +46,7 @@ TEST(CycleEmbedding, HamiltonianCycleVisitsEveryNodeOnce) {
   Embedding E = embedRingIntoTn(Tn);
   std::set<std::vector<uint8_t>> Seen;
   for (const Permutation &P : E.NodeMap)
-    Seen.insert(P.oneLine());
+    Seen.insert(P.oneLineVector());
   EXPECT_EQ(Seen.size(), factorial(5));
 }
 

@@ -16,7 +16,7 @@ TEST(Sjt, EnumeratesAllPermutations) {
     EXPECT_EQ(Order.size(), factorial(K));
     std::set<std::vector<uint8_t>> Seen;
     for (const Permutation &P : Order)
-      Seen.insert(P.oneLine());
+      Seen.insert(P.oneLineVector());
     EXPECT_EQ(Seen.size(), factorial(K)) << "duplicates at k=" << K;
   }
 }
