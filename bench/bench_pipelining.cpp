@@ -10,16 +10,34 @@
 // into the all-port simulator; the table reports steps/B against the
 // per-dimension congestion.
 //
+// Modes:
+//   (default)  human-readable E15 table + google-benchmark timings
+//   --json     machine-readable one-object JSON on stdout: deterministic
+//              simulator workloads across all three communication models
+//              with per-step time series from a MetricsObserver (committed
+//              as BENCH_simulator.json in the repo root)
+//   --smoke    bounded, invariant-checked simulator run: pinned step/
+//              occupancy counts across all three models (including the
+//              single-port multi-flit serialization fix), observed-vs-
+//              unobserved result identity, ModelInvariantChecker clean,
+//              and the <= 2% disabled-hook overhead budget; non-zero exit
+//              on any failure. Wired into ctest under perf-smoke.
+//
 //===----------------------------------------------------------------------===//
 
-#include "comm/Simulator.h"
+#include "comm/SimObserver.h"
 #include "embedding/StarEmbeddings.h"
 #include "emulation/SdcEmulation.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace scg;
 
@@ -76,9 +94,200 @@ void BM_StreamBurst16(benchmark::State &State) {
 }
 BENCHMARK(BM_StreamBurst16)->Unit(benchmark::kMillisecond);
 
+//===----------------------------------------------------------------------===//
+// --json / --smoke: instrumented simulator workloads
+//===----------------------------------------------------------------------===//
+
+/// Mixed random traffic with every fourth packet multi-flit; the standing
+/// deterministic workload of tests/SimObserverTest.cpp and EXPERIMENTS E21.
+void injectMixed(NetworkSimulator &Sim, const ExplicitScg &Net,
+                 unsigned Count, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  for (unsigned P = 0; P != Count; ++P) {
+    NodeId Src = Rng.nextBelow(Net.numNodes());
+    unsigned Len = 1 + Rng.nextBelow(5);
+    std::vector<GenIndex> Route;
+    for (unsigned H = 0; H != Len; ++H)
+      Route.push_back(Rng.nextBelow(Net.degree()));
+    Sim.injectPacket(Src, Route, P % 4 == 0 ? 1 + P % 3 : 1);
+  }
+}
+
+const char *modelName(CommModel Model) {
+  switch (Model) {
+  case CommModel::AllPort:
+    return "all_port";
+  case CommModel::SinglePort:
+    return "single_port";
+  case CommModel::SingleDimension:
+    return "single_dimension";
+  }
+  return "?";
+}
+
+/// One instrumented run of the mixed star(5) workload under \p Model,
+/// rendered as a JSON member: result scalars plus the sampled time series.
+std::string jsonWorkload(CommModel Model, bool Last) {
+  ExplicitScg Net(SuperCayleyGraph::star(5));
+  NetworkSimulator Sim(Net, Model);
+  injectMixed(Sim, Net, 150, 7);
+  MetricsRegistry Registry;
+  MetricsObserver Metrics(Registry);
+  ModelInvariantChecker Checker;
+  Sim.addObserver(&Metrics);
+  Sim.addObserver(&Checker);
+  SimulationResult R = Sim.run(100000);
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "  \"star5_mixed_seed7_%s\": {\n"
+      "    \"steps\": %llu, \"delivered\": %llu, \"transmissions\": %llu,\n"
+      "    \"busy_link_steps\": %llu, \"max_queue_length\": %llu, "
+      "\"link_utilization\": %.6f,\n"
+      "    \"invariants\": \"%s\",\n",
+      modelName(Model), (unsigned long long)R.Steps,
+      (unsigned long long)R.Delivered, (unsigned long long)R.Transmissions,
+      (unsigned long long)R.BusyLinkSteps,
+      (unsigned long long)R.MaxQueueLength, R.LinkUtilization,
+      Checker.clean() ? "clean" : "VIOLATED");
+  std::string Out = Buf;
+  Out += "    \"metrics\": " + Registry.toJson(64) + "\n";
+  Out += Last ? "  }\n" : "  },\n";
+  return Out;
+}
+
+/// The full --json report; deterministic (fixed seeds, no wall times), so
+/// the committed BENCH_simulator.json can be diffed byte-for-byte.
+std::string jsonReport() {
+  return "{\n" + jsonWorkload(CommModel::AllPort, false) +
+         jsonWorkload(CommModel::SinglePort, false) +
+         jsonWorkload(CommModel::SingleDimension, true) + "}\n";
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Wall time of one uninstrumented mixed run; \p Forced measures the
+/// disabled-hook path (instrumented loop, no observers attached).
+double timedRunMs(const ExplicitScg &Net, bool Forced) {
+  NetworkSimulator Sim(Net, CommModel::AllPort);
+  Sim.forceInstrumentation(Forced);
+  injectMixed(Sim, Net, 4000, 21);
+  auto Start = Clock::now();
+  SimulationResult R = Sim.run(100000);
+  double Ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - Start).count();
+  benchmark::DoNotOptimize(R);
+  return Ms;
+}
+
+bool sameResult(const SimulationResult &A, const SimulationResult &B) {
+  return A.Completed == B.Completed && A.Steps == B.Steps &&
+         A.Delivered == B.Delivered && A.Transmissions == B.Transmissions &&
+         A.BusyLinkSteps == B.BusyLinkSteps &&
+         A.MaxQueueLength == B.MaxQueueLength &&
+         A.LinkUtilization == B.LinkUtilization;
+}
+
+int runSmoke(bool Json) {
+  int Failures = 0;
+  auto Check = [&](const char *Name, bool Ok) {
+    std::printf("%-44s %s\n", Name, Ok ? "ok" : "FAIL");
+    Failures += !Ok;
+  };
+
+  // The single-port serialization fix, pinned: a node with two queued
+  // 3-flit messages on distinct links must stream them back to back
+  // (6 steps, 6 busy link-steps), not in parallel (the buggy 4).
+  {
+    ExplicitScg Net(SuperCayleyGraph::star(4));
+    NetworkSimulator Sim(Net, CommModel::SinglePort);
+    Sim.injectPacket(0, {0}, 3);
+    Sim.injectPacket(0, {1}, 3);
+    SimulationResult R = Sim.run(100);
+    Check("single-port 2x3-flit serializes (6 steps)",
+          R.Completed && R.Steps == 6 && R.BusyLinkSteps == 6);
+  }
+
+  // Pinned mixed-workload numbers per model, with a clean invariant
+  // checker and observed == unobserved results.
+  struct Pin {
+    CommModel Model;
+    uint64_t Steps;
+  };
+  for (Pin P : {Pin{CommModel::AllPort, 15}, Pin{CommModel::SinglePort, 17},
+                Pin{CommModel::SingleDimension, 25}}) {
+    ExplicitScg Net(SuperCayleyGraph::star(5));
+    NetworkSimulator Bare(Net, P.Model);
+    injectMixed(Bare, Net, 150, 7);
+    SimulationResult RB = Bare.run(100000);
+
+    NetworkSimulator Observed(Net, P.Model);
+    injectMixed(Observed, Net, 150, 7);
+    MetricsRegistry Registry;
+    MetricsObserver Metrics(Registry);
+    ModelInvariantChecker Checker;
+    Observed.addObserver(&Metrics);
+    Observed.addObserver(&Checker);
+    SimulationResult RO = Observed.run(100000);
+
+    char Name[64];
+    std::snprintf(Name, sizeof(Name), "%s pinned (%llu steps)",
+                  modelName(P.Model), (unsigned long long)P.Steps);
+    Check(Name, RB.Completed && RB.Steps == P.Steps && RB.Delivered == 150 &&
+                    RB.Transmissions == 442);
+    std::snprintf(Name, sizeof(Name), "%s observed == unobserved",
+                  modelName(P.Model));
+    Check(Name, sameResult(RB, RO));
+    std::snprintf(Name, sizeof(Name), "%s invariants clean",
+                  modelName(P.Model));
+    Check(Name, Checker.clean());
+    if (!Checker.clean())
+      std::printf("%s", Checker.report().c_str());
+  }
+
+  // With --json as well, pin the report's determinism: two full
+  // generations (fresh simulators, observers, registries) must render
+  // byte-identically, or the committed BENCH_simulator.json would churn.
+  if (Json) {
+    std::string A = jsonReport();
+    Check("json report deterministic", !A.empty() && A == jsonReport());
+  }
+
+  // Disabled-hook overhead budget: with no observer attached the
+  // instrumented loop (forceInstrumentation) must stay within 2% of the
+  // uninstrumented dispatch, min-of-7 to shed scheduler noise plus a
+  // small absolute allowance for timer granularity on short runs.
+  {
+    ExplicitScg Net(SuperCayleyGraph::star(6));
+    double Plain = 1e100, Forced = 1e100;
+    for (int I = 0; I != 7; ++I) {
+      Plain = std::min(Plain, timedRunMs(Net, false));
+      Forced = std::min(Forced, timedRunMs(Net, true));
+    }
+    bool Ok = Forced <= Plain * 1.02 + 0.05;
+    std::printf("%-44s %s  (plain %.3f ms, forced %.3f ms)\n",
+                "disabled-hook overhead <= 2%", Ok ? "ok" : "FAIL", Plain,
+                Forced);
+    Failures += !Ok;
+  }
+
+  return Failures ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  bool Json = false, Smoke = false;
+  for (int I = 1; I != argc; ++I) {
+    Json |= std::strcmp(argv[I], "--json") == 0;
+    Smoke |= std::strcmp(argv[I], "--smoke") == 0;
+  }
+  if (Smoke)
+    return runSmoke(Json);
+  if (Json) {
+    std::printf("%s", jsonReport().c_str());
+    return 0;
+  }
   printPipelining();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,9 +7,15 @@
 // network diameter. Also reports the insertion-sort rotator router for
 // the rotator graph, where star lifting does not apply.
 //
+// With --json, prints the permutation-traffic section as one JSON object
+// instead: per network/pattern completion numbers plus the per-step time
+// series a MetricsObserver collects through simulatePermutationRouting's
+// observer hook. Deterministic (fixed seeds, no wall times).
+//
 //===----------------------------------------------------------------------===//
 
 #include "comm/PermutationRouting.h"
+#include "comm/SimObserver.h"
 #include "emulation/ScgRouter.h"
 #include "emulation/SdcEmulation.h"
 #include "graph/Metrics.h"
@@ -23,6 +29,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 using namespace scg;
 
@@ -131,6 +138,44 @@ void printRoutingTable() {
   std::printf("%s\n", Perm.render().c_str());
 }
 
+/// --json: the permutation-traffic experiment with instrumented runs.
+void printPermutationJson() {
+  struct Case {
+    const char *Name;
+    TrafficPattern Pattern;
+  };
+  std::printf("{\n");
+  bool FirstNet = true;
+  for (auto Scg : {SuperCayleyGraph::star(6),
+                   SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2),
+                   SuperCayleyGraph::insertionSelection(5)}) {
+    ExplicitScg Net(Scg);
+    std::vector<Case> Cases;
+    Cases.push_back({"random", randomTraffic(Net, 0xF00D)});
+    Cases.push_back({"reversal", reversalTraffic(Net)});
+    Cases.push_back({"translate", translationTraffic(Net, 0)});
+    for (size_t I = 0; I != Cases.size(); ++I) {
+      MetricsRegistry Registry;
+      MetricsObserver Metrics(Registry);
+      ModelInvariantChecker Checker;
+      PermutationRoutingResult R = simulatePermutationRouting(
+          Net, Cases[I].Pattern, CommModel::AllPort, {&Metrics, &Checker});
+      std::printf("%s  \"%s/%s\": {\n", FirstNet && I == 0 ? "" : ",\n",
+                  Scg.name().c_str(), Cases[I].Name);
+      std::printf("    \"steps\": %llu, \"lower_bound\": %llu, "
+                  "\"ratio\": %.4f, \"max_link_load\": %llu,\n",
+                  (unsigned long long)R.Steps,
+                  (unsigned long long)R.LowerBound, R.Ratio,
+                  (unsigned long long)R.MaxLinkLoad);
+      std::printf("    \"invariants\": \"%s\",\n",
+                  Checker.clean() ? "clean" : "VIOLATED");
+      std::printf("    \"metrics\": %s\n  }", Registry.toJson(64).c_str());
+    }
+    FirstNet = false;
+  }
+  std::printf("\n}\n");
+}
+
 void BM_LiftedRoute(benchmark::State &State) {
   SuperCayleyGraph Ms = SuperCayleyGraph::create(NetworkKind::MacroStar, 4, 3);
   SplitMix64 Rng(1);
@@ -168,6 +213,11 @@ BENCHMARK(BM_RotatorRoute)->Arg(8)->Arg(12);
 } // namespace
 
 int main(int argc, char **argv) {
+  for (int I = 1; I != argc; ++I)
+    if (std::strcmp(argv[I], "--json") == 0) {
+      printPermutationJson();
+      return 0;
+    }
   printRoutingTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

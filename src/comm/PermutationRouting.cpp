@@ -40,12 +40,15 @@ TrafficPattern scg::translationTraffic(const ExplicitScg &Net, GenIndex G) {
 PermutationRoutingResult
 scg::simulatePermutationRouting(const ExplicitScg &Net,
                                 const TrafficPattern &Pattern,
-                                CommModel Model) {
+                                CommModel Model,
+                                const std::vector<SimObserver *> &Observers) {
   assert(Pattern.size() == Net.numNodes() && "pattern must cover all nodes");
   const SuperCayleyGraph &Host = Net.network();
 
   PermutationRoutingResult Result;
   NetworkSimulator Sim(Net, Model);
+  for (SimObserver *O : Observers)
+    Sim.addObserver(O);
   std::map<std::pair<NodeId, GenIndex>, uint64_t> Load;
   uint64_t HopTotal = 0;
   unsigned Longest = 0;

@@ -47,12 +47,17 @@ struct PermutationRoutingResult {
   uint64_t MaxLinkLoad = 0;
 };
 
+class SimObserver;
+
 /// Routes \p Pattern on \p Net under \p Model via lifted star routes;
-/// requires supportsStarEmulation(Net.network()).
+/// requires supportsStarEmulation(Net.network()). Any \p Observers are
+/// attached to the underlying NetworkSimulator for the run (results are
+/// unaffected; see comm/SimObserver.h).
 PermutationRoutingResult
 simulatePermutationRouting(const ExplicitScg &Net,
                            const TrafficPattern &Pattern,
-                           CommModel Model = CommModel::AllPort);
+                           CommModel Model = CommModel::AllPort,
+                           const std::vector<SimObserver *> &Observers = {});
 
 /// Routes many independent traffic patterns over the same network, one
 /// simulator instance per pattern, in parallel on the global ThreadPool

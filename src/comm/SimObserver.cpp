@@ -1,0 +1,114 @@
+//===- comm/SimObserver.cpp - Simulator observability hooks --------------===//
+
+#include "comm/SimObserver.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace scg;
+
+SimObserver::~SimObserver() = default;
+
+void SimObserver::onRunBegin(const NetworkSimulator &) {}
+
+void SimObserver::onStep(const NetworkSimulator &, const StepEvents &) {}
+
+void SimObserver::onRunEnd(const NetworkSimulator &,
+                           const SimulationResult &) {}
+
+//===----------------------------------------------------------------------===//
+// MetricsObserver
+//===----------------------------------------------------------------------===//
+
+MetricsObserver::MetricsObserver(MetricsRegistry &Registry)
+    : Registry(Registry),
+      Transmissions(Registry.counter("sim.transmissions")),
+      BusyLinkSteps(Registry.counter("sim.busy_link_steps")),
+      Arrivals(Registry.counter("sim.arrivals")),
+      Deliveries(Registry.counter("sim.deliveries")),
+      QueuedPackets(Registry.gauge("sim.queued_packets")),
+      ActiveLinks(Registry.gauge("sim.active_links")),
+      MaxQueueDepth(Registry.gauge("sim.max_queue_depth")) {}
+
+void MetricsObserver::onRunBegin(const NetworkSimulator &) {}
+
+void MetricsObserver::onStep(const NetworkSimulator &,
+                             const StepEvents &Events) {
+  uint64_t Started = 0;
+  for (const LinkActivity &A : Events.Active)
+    Started += A.Started;
+  Transmissions.add(Started);
+  BusyLinkSteps.add(Events.Active.size());
+  Arrivals.add(Events.Arrivals.size());
+  Deliveries.add(Events.Deliveries.size());
+  QueuedPackets.set(double(Events.QueuedPackets));
+  ActiveLinks.set(double(Events.Active.size()));
+  MaxQueueDepth.set(double(Events.MaxQueueDepth));
+  Registry.sample(Events.Step);
+}
+
+//===----------------------------------------------------------------------===//
+// ModelInvariantChecker
+//===----------------------------------------------------------------------===//
+
+void ModelInvariantChecker::onRunBegin(const NetworkSimulator &Sim) {
+  size_t Links = size_t(Sim.net().numNodes()) * Sim.net().degree();
+  LinkStamp.assign(Links, 0);
+  LinkCount.assign(Links, 0);
+  NodeStamp.assign(Sim.net().numNodes(), 0);
+  NodeCount.assign(Sim.net().numNodes(), 0);
+}
+
+void ModelInvariantChecker::onStep(const NetworkSimulator &Sim,
+                                   const StepEvents &Events) {
+  // Stamps distinguish steps without clearing; step S uses stamp S + 1 so
+  // the zero-initialized arrays never alias step 0.
+  uint64_t Stamp = Events.Step + 1;
+  unsigned Degree = Sim.net().degree();
+  auto Flag = [&](const std::string &What) {
+    Violations.push_back({Events.Step, What});
+  };
+
+  for (const LinkActivity &A : Events.Active) {
+    size_t L = size_t(A.Node) * Degree + A.Link;
+    if (LinkStamp[L] != Stamp) {
+      LinkStamp[L] = Stamp;
+      LinkCount[L] = 0;
+    }
+    if (++LinkCount[L] > 1)
+      Flag("link (" + std::to_string(A.Node) + ", g" +
+           std::to_string(A.Link) + ") carries " +
+           std::to_string(LinkCount[L]) + " messages in one step");
+
+    if (Sim.model() == CommModel::SinglePort) {
+      if (NodeStamp[A.Node] != Stamp) {
+        NodeStamp[A.Node] = Stamp;
+        NodeCount[A.Node] = 0;
+      }
+      if (++NodeCount[A.Node] > 1)
+        Flag("single-port node " + std::to_string(A.Node) + " has " +
+             std::to_string(NodeCount[A.Node]) +
+             " active links in one step");
+    }
+
+    if (Sim.model() == CommModel::SingleDimension && A.Started &&
+        (!Events.HasScheduledLink || A.Link != Events.ScheduledLink))
+      Flag("single-dimension transmission started on g" +
+           std::to_string(A.Link) + " but the schedule selected g" +
+           std::to_string(Events.ScheduledLink));
+  }
+}
+
+std::string ModelInvariantChecker::report() const {
+  if (clean())
+    return "clean";
+  std::ostringstream OS;
+  size_t Shown = std::min<size_t>(Violations.size(), 20);
+  OS << Violations.size() << " violation(s):\n";
+  for (size_t I = 0; I != Shown; ++I)
+    OS << "  step " << Violations[I].Step << ": " << Violations[I].What
+       << "\n";
+  if (Shown != Violations.size())
+    OS << "  ... " << (Violations.size() - Shown) << " more\n";
+  return OS.str();
+}

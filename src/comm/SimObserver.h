@@ -1,0 +1,150 @@
+//===- comm/SimObserver.h - Simulator observability hooks ------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability hooks for NetworkSimulator: a per-step event record
+/// (link activity, hop arrivals, deliveries, queue depths), an abstract
+/// SimObserver receiving it, and two standard observers --
+///
+///   MetricsObserver        feeds a support/Metrics.h MetricsRegistry with
+///                          named counters/gauges sampled every step
+///   ModelInvariantChecker  asserts the defining constraint of the
+///                          configured CommModel every step (see below)
+///
+/// The hooks cost nothing when unused: run() dispatches to an
+/// uninstrumented loop unless an observer is attached, and results are
+/// byte-identical either way (pinned by tests/SimObserverTest.cpp).
+///
+/// Per-model invariants checked every step:
+///
+///   all-port          at most one message per directed link (this one is
+///                     model-independent and always checked)
+///   single-port       at most one *active* outgoing link per node, where
+///                     a link mid-way through a multi-flit store-and-
+///                     forward transmission counts as active for every one
+///                     of its FlitCount occupancy steps
+///   single-dimension  transmissions only start on the generator the
+///                     dimension cycle schedules for the step
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_COMM_SIMOBSERVER_H
+#define SCG_COMM_SIMOBSERVER_H
+
+#include "comm/Simulator.h"
+#include "support/Metrics.h"
+
+#include <string>
+#include <vector>
+
+namespace scg {
+
+/// One directed link carrying (part of) a message during a step.
+struct LinkActivity {
+  NodeId Node;     ///< transmitting node (source endpoint of the link).
+  GenIndex Link;   ///< generator index of the directed link.
+  uint32_t Packet; ///< id of the occupying packet/message.
+  unsigned Flits;  ///< message length in flits.
+  bool Started;    ///< true if the transmission began this step; false for
+                   ///< the later occupancy steps of a multi-flit message.
+};
+
+/// Everything that happened in one simulator step. The record is built
+/// only when at least one observer is attached and is reused across steps
+/// (clear(), not reallocation).
+struct StepEvents {
+  uint64_t Step = 0;
+  CommModel Model = CommModel::AllPort;
+  GenIndex ScheduledLink = 0;    ///< single-dimension: this step's generator.
+  bool HasScheduledLink = false; ///< true only under single-dimension.
+  std::vector<LinkActivity> Active; ///< links occupied this step.
+  std::vector<uint32_t> Arrivals;   ///< packets that completed a hop.
+  std::vector<uint32_t> Deliveries; ///< packets delivered this step.
+  uint64_t QueuedPackets = 0;       ///< total queued, sampled pre-step.
+  uint64_t MaxQueueDepth = 0;       ///< deepest per-link queue, pre-step.
+
+  void clear() {
+    HasScheduledLink = false;
+    Active.clear();
+    Arrivals.clear();
+    Deliveries.clear();
+    QueuedPackets = 0;
+    MaxQueueDepth = 0;
+  }
+};
+
+/// Abstract step hook. Attach with NetworkSimulator::addObserver (non-
+/// owning; the observer must outlive run()). Default implementations do
+/// nothing, so observers override only what they need.
+class SimObserver {
+public:
+  virtual ~SimObserver();
+
+  /// Called once when run() starts, before the first step.
+  virtual void onRunBegin(const NetworkSimulator &Sim);
+
+  /// Called at the end of every step with that step's event record.
+  virtual void onStep(const NetworkSimulator &Sim, const StepEvents &Events);
+
+  /// Called once when run() returns, with the final result.
+  virtual void onRunEnd(const NetworkSimulator &Sim,
+                        const SimulationResult &Result);
+};
+
+/// Feeds a MetricsRegistry from the step stream and samples it every step.
+/// Counters: sim.transmissions (message-hops started), sim.busy_link_steps,
+/// sim.arrivals, sim.deliveries. Gauges: sim.queued_packets,
+/// sim.active_links, sim.max_queue_depth.
+class MetricsObserver final : public SimObserver {
+public:
+  explicit MetricsObserver(MetricsRegistry &Registry);
+
+  void onRunBegin(const NetworkSimulator &Sim) override;
+  void onStep(const NetworkSimulator &Sim, const StepEvents &Events) override;
+
+private:
+  MetricsRegistry &Registry;
+  Metric &Transmissions;
+  Metric &BusyLinkSteps;
+  Metric &Arrivals;
+  Metric &Deliveries;
+  Metric &QueuedPackets;
+  Metric &ActiveLinks;
+  Metric &MaxQueueDepth;
+};
+
+/// Checks the defining constraint of the simulator's CommModel every step
+/// (see the file comment for the exact rules) and records violations. The
+/// standing correctness harness for scheduling changes: attach one, run,
+/// assert clean().
+class ModelInvariantChecker final : public SimObserver {
+public:
+  struct Violation {
+    uint64_t Step;
+    std::string What;
+  };
+
+  bool clean() const { return Violations.empty(); }
+  const std::vector<Violation> &violations() const { return Violations; }
+
+  /// Human-readable report: "clean" or one line per violation (capped).
+  std::string report() const;
+
+  void onRunBegin(const NetworkSimulator &Sim) override;
+  void onStep(const NetworkSimulator &Sim, const StepEvents &Events) override;
+
+private:
+  std::vector<Violation> Violations;
+  // Stamped per-step occupancy counts so no per-step clearing is needed.
+  std::vector<uint64_t> LinkStamp;
+  std::vector<unsigned> LinkCount;
+  std::vector<uint64_t> NodeStamp;
+  std::vector<unsigned> NodeCount;
+};
+
+} // namespace scg
+
+#endif // SCG_COMM_SIMOBSERVER_H

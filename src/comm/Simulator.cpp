@@ -2,6 +2,8 @@
 
 #include "comm/Simulator.h"
 
+#include "comm/SimObserver.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -24,7 +26,7 @@ NetworkSimulator::NetworkSimulator(const ExplicitScg &Net, CommModel Model)
     : Net(Net), Model(Model),
       Queues(size_t(Net.numNodes()) * Net.degree()),
       Busy(size_t(Net.numNodes()) * Net.degree()),
-      PortPointer(Net.numNodes(), 0) {
+      PortPointer(Net.numNodes(), 0), NodeBusyUntil(Net.numNodes(), 0) {
   for (GenIndex G = 0; G != Net.degree(); ++G)
     DimensionCycle.push_back(G);
 }
@@ -36,8 +38,12 @@ void NetworkSimulator::injectPacket(NodeId Src, std::vector<GenIndex> Route,
   Packets.push_back({Src, 0, FlitCount, std::move(Route)});
   uint32_t Id = Packets.size() - 1;
   const Packet &P = Packets.back();
-  if (P.Route.empty())
-    return; // Already at its destination; nothing to simulate.
+  if (P.Route.empty()) {
+    // Already at its destination: delivered traffic, even though there is
+    // nothing to simulate.
+    ++DeliveredAtInject;
+    return;
+  }
   Queues[queueIndex(Src, P.Route.front())].push_back(Id);
   ++Pending;
 }
@@ -47,37 +53,89 @@ void NetworkSimulator::setDimensionCycle(std::vector<GenIndex> Cycle) {
   DimensionCycle = std::move(Cycle);
 }
 
-void NetworkSimulator::enqueueOrDeliver(uint32_t Id,
-                                        SimulationResult &Result) {
+void NetworkSimulator::addObserver(SimObserver *Observer) {
+  assert(Observer && "null observer");
+  Observers.push_back(Observer);
+}
+
+void NetworkSimulator::enqueueOrDeliver(uint32_t Id, SimulationResult &Result,
+                                        std::vector<uint32_t> *DeliveredOut) {
   Packet &P = Packets[Id];
   if (P.NextHop == P.Route.size()) {
     ++Result.Delivered;
     --Pending;
+    if (DeliveredOut)
+      DeliveredOut->push_back(Id);
     return;
   }
   Queues[queueIndex(P.At, P.Route[P.NextHop])].push_back(Id);
 }
 
 SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
+  // One dispatch on entry: the uninstrumented loop contains no observer
+  // code at all, so observability is free when no observer is attached.
+  if (Observers.empty() && !AlwaysInstrument)
+    return runImpl<false>(MaxSteps);
+  return runImpl<true>(MaxSteps);
+}
+
+template <bool Observed>
+SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
   SimulationResult Result;
+  Result.Delivered = DeliveredAtInject;
   unsigned Degree = Net.degree();
   std::vector<uint32_t> Moved;
+
+  // Event collection is skipped when the instrumented loop runs with no
+  // observer attached (the forceInstrumentation benchmark mode): what
+  // remains is exactly the per-step hook overhead being measured.
+  StepEvents Events;
+  const bool Collect = Observed && !Observers.empty();
+  if constexpr (Observed) {
+    Events.Model = Model;
+    for (SimObserver *O : Observers)
+      O->onRunBegin(*this);
+  }
 
   while (Pending != 0 && Result.Steps != MaxSteps) {
     uint64_t Step = Result.Steps++;
     Moved.clear();
+    if constexpr (Observed) {
+      if (Collect) {
+        Events.clear();
+        Events.Step = Step;
+      }
+    }
 
     // Sample queue occupancy before transmissions so the initial burst is
     // visible in MaxQueueLength.
-    for (const auto &Queue : Queues)
+    for (const auto &Queue : Queues) {
       Result.MaxQueueLength =
           std::max<uint64_t>(Result.MaxQueueLength, Queue.size());
+      if constexpr (Observed) {
+        if (Collect) {
+          Events.QueuedPackets += Queue.size();
+          Events.MaxQueueDepth =
+              std::max<uint64_t>(Events.MaxQueueDepth, Queue.size());
+        }
+      }
+    }
 
-    // Phase 0: complete multi-flit transmissions whose last flit lands
-    // this step.
+    // Phase 0: account in-flight multi-flit occupancy and complete the
+    // transmissions whose last flit lands this step.
     for (size_t Q = 0; Q != Busy.size(); ++Q) {
       InFlight &F = Busy[Q];
-      if (!F.Active || F.DoneStep != Step)
+      if (!F.Active || F.DoneStep < Step)
+        continue;
+      // The link is occupied this step by a transmission selected at an
+      // earlier step (its selection step was counted at selection time).
+      ++Result.BusyLinkSteps;
+      if constexpr (Observed) {
+        if (Collect)
+          Events.Active.push_back({NodeId(Q / Degree), GenIndex(Q % Degree),
+                                   F.Id, Packets[F.Id].Flits, false});
+      }
+      if (F.DoneStep != Step)
         continue;
       // The link stays occupied through this arrival step (SelectLink
       // checks DoneStep >= Step), so do not clear Active here; the next
@@ -102,11 +160,19 @@ SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
       Packet &P = Packets[Id];
       assert(P.At == Node && P.Route[P.NextHop] == Link &&
              "queue corruption");
+      // The link is occupied from this step on (one step for a unit
+      // packet, Flits steps for a store-and-forward message).
+      ++Result.BusyLinkSteps;
+      if constexpr (Observed) {
+        if (Collect)
+          Events.Active.push_back({Node, Link, Id, P.Flits, true});
+      }
       if (P.Flits > 1) {
         // Occupy the link for Flits steps; arrival in phase 0 of step
-        // Step + Flits - 1.
+        // Step + Flits - 1, node port free again at Step + Flits.
         Queue.pop_front();
         Busy[Q] = {Id, Step + P.Flits - 1, true};
+        NodeBusyUntil[Node] = Step + P.Flits;
         return true;
       }
       Queue.pop_front();
@@ -125,6 +191,10 @@ SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
       break;
     case CommModel::SinglePort:
       for (NodeId Node = 0; Node != Net.numNodes(); ++Node) {
+        // A port mid-way through a multi-flit transmission transmits
+        // nothing else until the occupancy ends.
+        if (NodeBusyUntil[Node] > Step)
+          continue;
         // Round-robin over links so no queue starves.
         for (unsigned Offset = 0; Offset != Degree; ++Offset) {
           GenIndex G = (PortPointer[Node] + Offset) % Degree;
@@ -137,6 +207,12 @@ SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
       break;
     case CommModel::SingleDimension: {
       GenIndex G = DimensionCycle[Step % DimensionCycle.size()];
+      if constexpr (Observed) {
+        if (Collect) {
+          Events.ScheduledLink = G;
+          Events.HasScheduledLink = true;
+        }
+      }
       for (NodeId Node = 0; Node != Net.numNodes(); ++Node)
         SelectLink(Node, G);
       break;
@@ -146,12 +222,24 @@ SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
     // Phase 2: re-enqueue or deliver the moved packets. Two-phase keeps a
     // packet from hopping twice in one step.
     for (uint32_t Id : Moved)
-      enqueueOrDeliver(Id, Result);
+      enqueueOrDeliver(Id, Result, Collect ? &Events.Deliveries : nullptr);
+
+    if constexpr (Observed) {
+      if (Collect) {
+        Events.Arrivals = Moved;
+        for (SimObserver *O : Observers)
+          O->onStep(*this, Events);
+      }
+    }
   }
 
   Result.Completed = (Pending == 0);
   uint64_t LinkSteps = uint64_t(Net.numNodes()) * Degree * Result.Steps;
   Result.LinkUtilization =
-      LinkSteps ? double(Result.Transmissions) / double(LinkSteps) : 0.0;
+      LinkSteps ? double(Result.BusyLinkSteps) / double(LinkSteps) : 0.0;
+  if constexpr (Observed) {
+    for (SimObserver *O : Observers)
+      O->onRunEnd(*this, Result);
+  }
   return Result;
 }

@@ -39,18 +39,34 @@ std::string commModelName(CommModel Model);
 
 /// Outcome of a simulation run.
 struct SimulationResult {
-  bool Completed = false;   ///< all packets delivered within the step cap.
-  uint64_t Steps = 0;       ///< steps executed until completion (or cap).
-  uint64_t Delivered = 0;
+  bool Completed = false; ///< all packets delivered within the step cap.
+  uint64_t Steps = 0;     ///< steps executed until completion (or cap).
+  uint64_t Delivered = 0; ///< packets delivered, including zero-hop packets
+                          ///< injected with an empty route.
+  /// Message-hops: one per (message, link) transmission regardless of the
+  /// message's flit count. A 3-flit message crossing 2 links contributes 2.
   uint64_t Transmissions = 0;
+  /// Link occupancy in link-steps: a FlitCount-flit message-hop holds its
+  /// link for FlitCount steps and contributes all of them. This, not
+  /// Transmissions, is what utilization is computed from.
+  uint64_t BusyLinkSteps = 0;
   uint64_t MaxQueueLength = 0;
-  double LinkUtilization = 0.0; ///< transmissions / (links * steps).
+  double LinkUtilization = 0.0; ///< BusyLinkSteps / (links * steps).
 };
 
-/// The simulator. Inject packets, then run().
+class SimObserver;
+struct StepEvents;
+
+/// The simulator. Inject packets, then run(). Optionally attach
+/// SimObservers (comm/SimObserver.h) first; with none attached run()
+/// executes an uninstrumented loop, so observability is free when off and
+/// results are identical either way.
 class NetworkSimulator {
 public:
   NetworkSimulator(const ExplicitScg &Net, CommModel Model);
+
+  const ExplicitScg &net() const { return Net; }
+  CommModel model() const { return Model; }
 
   /// Injects a packet at \p Src that will follow \p Route hop by hop.
   /// \p FlitCount > 1 models a store-and-forward message: each link
@@ -63,6 +79,16 @@ public:
   /// For the single-dimension model: the generator used at step t is
   /// Cycle[t % Cycle.size()]. Defaults to cycling all generators in order.
   void setDimensionCycle(std::vector<GenIndex> Cycle);
+
+  /// Attaches a step observer (non-owning; must outlive run()). Observers
+  /// fire in attachment order at the end of every step.
+  void addObserver(SimObserver *Observer);
+
+  /// Benchmark knob: forces run() through the instrumented loop even with
+  /// no observer attached, so the perf-smoke lane can measure the hook
+  /// overhead of the disabled observability layer (asserted <= 2% by
+  /// bench_pipelining --smoke). Results are unaffected.
+  void forceInstrumentation(bool On) { AlwaysInstrument = On; }
 
   /// Runs until every packet is delivered or \p MaxSteps elapse.
   SimulationResult run(uint64_t MaxSteps);
@@ -88,8 +114,15 @@ private:
   }
 
   /// Enqueues packet \p Id at its current node for its next hop; delivers
-  /// it instead when the route is exhausted.
-  void enqueueOrDeliver(uint32_t Id, SimulationResult &Result);
+  /// it instead when the route is exhausted (recording the id in
+  /// \p DeliveredOut when the caller is collecting events).
+  void enqueueOrDeliver(uint32_t Id, SimulationResult &Result,
+                        std::vector<uint32_t> *DeliveredOut);
+
+  /// The step loop. Instantiated twice: Observed = false is the pristine
+  /// hot loop (no event collection, no hook checks); Observed = true adds
+  /// the observer machinery. run() dispatches once on entry.
+  template <bool Observed> SimulationResult runImpl(uint64_t MaxSteps);
 
   const ExplicitScg &Net;
   CommModel Model;
@@ -98,7 +131,16 @@ private:
   std::vector<InFlight> Busy; ///< per-link multi-flit transmission state.
   std::vector<GenIndex> DimensionCycle;
   std::vector<GenIndex> PortPointer; ///< round-robin state per node.
+  /// Single-port rule for store-and-forward messages: a node whose port is
+  /// mid-way through a multi-flit transmission may not start another until
+  /// the occupancy ends. NodeBusyUntil[u] is the first step u is free
+  /// again (selection step + FlitCount); 0 = never busy. Maintained for
+  /// every model, consulted only under CommModel::SinglePort.
+  std::vector<uint64_t> NodeBusyUntil;
   uint64_t Pending = 0;
+  uint64_t DeliveredAtInject = 0; ///< zero-hop packets, delivered on inject.
+  std::vector<SimObserver *> Observers;
+  bool AlwaysInstrument = false;
 };
 
 } // namespace scg

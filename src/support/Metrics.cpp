@@ -1,0 +1,135 @@
+//===- support/Metrics.cpp - Named counters, gauges, time series ---------===//
+
+#include "support/Metrics.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+using namespace scg;
+
+Metric &MetricsRegistry::counter(const std::string &Name) {
+  Metric &M = Metrics[Name];
+  M.Counter = true;
+  return M;
+}
+
+Metric &MetricsRegistry::gauge(const std::string &Name) {
+  Metric &M = Metrics[Name];
+  M.Counter = false;
+  return M;
+}
+
+const Metric *MetricsRegistry::find(const std::string &Name) const {
+  auto It = Metrics.find(Name);
+  return It == Metrics.end() ? nullptr : &It->second;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> Names;
+  for (const auto &[Name, M] : Metrics)
+    Names.push_back(Name);
+  return Names;
+}
+
+void MetricsRegistry::sample(uint64_t Step) {
+  for (auto &[Name, M] : Metrics)
+    M.Series.push_back({Step, M.Value});
+}
+
+MetricSummary MetricsRegistry::summarize(const Metric &M) {
+  MetricSummary S;
+  if (M.series().empty())
+    return S;
+  S.Points = M.series().size();
+  S.Min = S.Max = M.series().front().second;
+  double Sum = 0.0;
+  for (const auto &[Step, V] : M.series()) {
+    S.Min = std::min(S.Min, V);
+    S.Max = std::max(S.Max, V);
+    Sum += V;
+  }
+  S.Mean = Sum / double(S.Points);
+  S.Last = M.series().back().second;
+  return S;
+}
+
+namespace {
+
+/// JSON number rendering: counters (and any integral value) print without a
+/// fractional part so exports diff cleanly.
+std::string jsonNumber(double V, bool Integral) {
+  if (Integral || V == std::floor(V))
+    return std::to_string(int64_t(V));
+  return formatDouble(V, 4);
+}
+
+} // namespace
+
+std::string MetricsRegistry::toJson(size_t MaxSeriesPoints) const {
+  std::ostringstream OS;
+  OS << "{";
+  bool FirstMetric = true;
+  for (const auto &[Name, M] : Metrics) {
+    if (!FirstMetric)
+      OS << ",";
+    FirstMetric = false;
+    bool Int = M.isCounter();
+    OS << "\n  \"" << Name << "\": {\"kind\": \""
+       << (M.isCounter() ? "counter" : "gauge")
+       << "\", \"value\": " << jsonNumber(M.value(), Int);
+    MetricSummary S = summarize(M);
+    OS << ", \"summary\": {\"points\": " << S.Points
+       << ", \"min\": " << jsonNumber(S.Min, Int)
+       << ", \"max\": " << jsonNumber(S.Max, Int)
+       << ", \"mean\": " << jsonNumber(S.Mean, false)
+       << ", \"last\": " << jsonNumber(S.Last, Int) << "}";
+    const auto &Series = M.series();
+    size_t Stride = 1;
+    if (MaxSeriesPoints && Series.size() > MaxSeriesPoints)
+      Stride = (Series.size() + MaxSeriesPoints - 1) / MaxSeriesPoints;
+    OS << ", \"series\": [";
+    bool FirstPoint = true;
+    auto Emit = [&](size_t I) {
+      if (!FirstPoint)
+        OS << ", ";
+      FirstPoint = false;
+      OS << "[" << Series[I].first << ", "
+         << jsonNumber(Series[I].second, Int) << "]";
+    };
+    for (size_t I = 0; I < Series.size(); I += Stride)
+      Emit(I);
+    // The final point always survives downsampling.
+    if (Stride > 1 && !Series.empty() && (Series.size() - 1) % Stride != 0)
+      Emit(Series.size() - 1);
+    OS << "]}";
+  }
+  OS << "\n}";
+  return OS.str();
+}
+
+void Histogram::add(uint64_t Value) {
+  if (Value >= Counts.size())
+    Counts.resize(Value + 1, 0);
+  ++Counts[Value];
+  ++Total;
+}
+
+std::string Histogram::render(unsigned Width) const {
+  if (Total == 0)
+    return "(empty)\n";
+  uint64_t Peak = *std::max_element(Counts.begin(), Counts.end());
+  unsigned LabelWidth =
+      unsigned(std::to_string(Counts.size() - 1).size());
+  std::ostringstream OS;
+  for (uint64_t V = 0; V != Counts.size(); ++V) {
+    if (Counts[V] == 0)
+      continue;
+    uint64_t Bar = std::max<uint64_t>(1, Counts[V] * Width / Peak);
+    OS << padLeft(std::to_string(V), LabelWidth) << " | "
+       << std::string(size_t(Bar), '#') << "  " << Counts[V] << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,129 @@
+//===- support/Metrics.h - Named counters, gauges, time series -*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small metrics facility shared by the instrumented runtime surfaces: a
+/// registry of named monotone counters and instantaneous gauges, each with
+/// an optional per-step time series, plus summary statistics, deterministic
+/// JSON export, and an exact integer histogram for step-profile dumps.
+///
+/// The registry is deliberately observer-agnostic: the simulator's
+/// MetricsObserver (comm/SimObserver.h) feeds it, but anything with a step
+/// counter can. Nothing here is thread-safe; one registry per simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_SUPPORT_METRICS_H
+#define SCG_SUPPORT_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scg {
+
+/// One named metric. Counters grow monotonically via add(); gauges are
+/// overwritten via set(). The distinction only affects JSON rendering
+/// (counters print as integers) and is fixed at registration time.
+class Metric {
+public:
+  /// Increments a counter by \p Delta.
+  void add(uint64_t Delta = 1) { Value += double(Delta); }
+
+  /// Sets a gauge to \p Value.
+  void set(double V) { Value = V; }
+
+  double value() const { return Value; }
+
+  /// True for counters (integer-rendered, monotone).
+  bool isCounter() const { return Counter; }
+
+  /// The sampled time series: (step, value) pairs in sampling order.
+  const std::vector<std::pair<uint64_t, double>> &series() const {
+    return Series;
+  }
+
+private:
+  friend class MetricsRegistry;
+  double Value = 0.0;
+  bool Counter = true;
+  std::vector<std::pair<uint64_t, double>> Series;
+};
+
+/// Summary statistics of one metric's time series.
+struct MetricSummary {
+  size_t Points = 0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Mean = 0.0;
+  double Last = 0.0;
+};
+
+/// A registry of named metrics with per-step sampling and JSON export.
+/// Metric references stay valid for the registry's lifetime (node-based
+/// storage), so hot loops can hold them instead of re-resolving names.
+class MetricsRegistry {
+public:
+  /// Returns the named counter, creating it at zero on first use.
+  Metric &counter(const std::string &Name);
+
+  /// Returns the named gauge, creating it at zero on first use.
+  Metric &gauge(const std::string &Name);
+
+  /// Returns the named metric or nullptr.
+  const Metric *find(const std::string &Name) const;
+
+  /// Registered names in deterministic (lexicographic) order.
+  std::vector<std::string> names() const;
+
+  /// Appends every metric's current value to its time series, tagged with
+  /// \p Step. Call once per simulation step.
+  void sample(uint64_t Step);
+
+  /// Summary statistics over a metric's sampled series (all zeros when the
+  /// series is empty).
+  static MetricSummary summarize(const Metric &M);
+
+  /// Renders the registry as one JSON object:
+  ///   {"name": {"kind": "counter", "value": v,
+  ///             "summary": {...}, "series": [[step, v], ...]}, ...}
+  /// Series longer than \p MaxSeriesPoints are downsampled by stride (first
+  /// and last points always kept) so exports stay reviewable; pass 0 to
+  /// keep every point. Output is deterministic: names are sorted and
+  /// values formatted with fixed precision.
+  std::string toJson(size_t MaxSeriesPoints = 256) const;
+
+private:
+  std::map<std::string, Metric> Metrics;
+};
+
+/// Exact integer histogram: bin v counts how often add(v) was called.
+/// Suited to small nonnegative step profiles (deliveries per step, queue
+/// depths); storage is linear in the largest value seen.
+class Histogram {
+public:
+  void add(uint64_t Value);
+
+  uint64_t total() const { return Total; }
+  uint64_t maxValue() const { return Counts.empty() ? 0 : Counts.size() - 1; }
+  uint64_t count(uint64_t Value) const {
+    return Value < Counts.size() ? Counts[Value] : 0;
+  }
+
+  /// ASCII bar rendering, one line per nonempty bin, bars scaled to
+  /// \p Width characters, e.g. "  3 | #####  12". Empty histogram renders
+  /// to "(empty)\n".
+  std::string render(unsigned Width = 40) const;
+
+private:
+  std::vector<uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace scg
+
+#endif // SCG_SUPPORT_METRICS_H

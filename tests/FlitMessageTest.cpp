@@ -69,6 +69,71 @@ TEST(FlitMessage, BusyLinkBlocksOtherMessages) {
   EXPECT_EQ(R.Steps, 6u); // two 3-step occupancies back to back.
 }
 
+// Regression for the single-port port violation: a node occupied by a
+// multi-flit store-and-forward transmission on one link must not start a
+// second transmission on another link. Pre-fix, SelectLink only checked
+// the busy *link*, so the two messages below overlapped (4 steps,
+// impossibly fast); the correct serialization takes 3 + 3 = 6.
+TEST(FlitMessage, SinglePortSerializesMultiFlitAcrossLinks) {
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  NetworkSimulator Sim(Net, CommModel::SinglePort);
+  Sim.injectPacket(0, {0}, 3);
+  Sim.injectPacket(0, {1}, 3);
+  SimulationResult R = Sim.run(100);
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.Steps, 6u); // two 3-step port occupancies back to back.
+  EXPECT_EQ(R.BusyLinkSteps, 6u);
+}
+
+// Same rule at saturation: d multi-flit messages on the d distinct links
+// of one node serialize into d * F port-busy steps under single-port,
+// while all-port genuinely overlaps them (F steps).
+TEST(FlitMessage, SinglePortSaturatedNodeSerializesAllLinks) {
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  unsigned Degree = Net.degree(), Flits = 4;
+  for (CommModel Model : {CommModel::SinglePort, CommModel::AllPort}) {
+    NetworkSimulator Sim(Net, Model);
+    for (GenIndex G = 0; G != Degree; ++G)
+      Sim.injectPacket(0, {G}, Flits);
+    SimulationResult R = Sim.run(1000);
+    ASSERT_TRUE(R.Completed);
+    uint64_t Want =
+        Model == CommModel::SinglePort ? uint64_t(Degree) * Flits : Flits;
+    EXPECT_EQ(R.Steps, Want) << commModelName(Model);
+    EXPECT_EQ(R.BusyLinkSteps, uint64_t(Degree) * Flits)
+        << commModelName(Model);
+  }
+}
+
+// A single-flit packet queued at a port mid-way through a multi-flit
+// transmission waits for the occupancy to end even on an idle link.
+TEST(FlitMessage, SinglePortUnitPacketWaitsForBusyPort) {
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  NetworkSimulator Sim(Net, CommModel::SinglePort);
+  Sim.injectPacket(0, {0}, 3); // occupies the port for steps 0..2.
+  Sim.injectPacket(0, {1});    // must wait until step 3.
+  SimulationResult R = Sim.run(100);
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.Steps, 4u);
+  EXPECT_EQ(R.BusyLinkSteps, 4u);
+}
+
+// BusyLinkSteps accounts a multi-flit message-hop as Flits link-steps
+// while Transmissions stays one per message-hop, and utilization derives
+// from occupancy, not message-hops.
+TEST(FlitMessage, UtilizationCountsOccupiedLinkSteps) {
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  NetworkSimulator Sim(Net, CommModel::AllPort);
+  Sim.injectPacket(0, {0, 1}, 3);
+  SimulationResult R = Sim.run(100);
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.Steps, 6u);
+  EXPECT_EQ(R.Transmissions, 2u); // message-hops.
+  EXPECT_EQ(R.BusyLinkSteps, 6u); // 2 hops x 3 occupied steps each.
+  uint64_t Links = uint64_t(Net.numNodes()) * Net.degree();
+  EXPECT_DOUBLE_EQ(R.LinkUtilization, 6.0 / double(Links * R.Steps));
+}
+
 TEST(FlitMessage, MixedTrafficConserves) {
   ExplicitScg Net(SuperCayleyGraph::star(5));
   NetworkSimulator Sim(Net, CommModel::AllPort);
