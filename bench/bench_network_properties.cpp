@@ -1,4 +1,4 @@
-//===- bench/bench_network_properties.cpp - Experiment E13 ---------------===//
+//===- bench/bench_network_properties.cpp - Experiments E13 / E22 --------===//
 //
 // Reproduces the Section 2 network inventory: every super Cayley graph
 // class (plus the classic comparison networks) with its size, degree,
@@ -10,9 +10,25 @@
 // the largest inventory graph (star(7), 5040 nodes) timed serially and at
 // 2/4/8 threads, with the byte-identity of the results asserted.
 //
+// Modes (consistent with bench_kernels / bench_pipelining):
+//   (default)  inventory table + scaling + google-benchmark timings
+//   --json     machine-readable distance-engine curve on stdout: scalar
+//              vs bit-parallel MS-BFS all-pairs at k = 6/7/8 plus the
+//              MS-BFS-only k = 9 point. Regenerates the committed
+//              BENCH_distance.json (the k >= 8 points take minutes of
+//              single-thread time; that is the point of the curve).
+//   --smoke    bounded pinned workload (star 6/7), non-zero exit unless
+//              MS-BFS throughput >= scalar AND both engines agree on
+//              diameter / average distance bit for bit; wired into ctest
+//              under the perf-smoke label.
+//
+// --json and --smoke force a single thread so numbers are comparable
+// across machines and unaffected by the pool size.
+//
 //===----------------------------------------------------------------------===//
 
 #include "graph/Metrics.h"
+#include "graph/MsBfs.h"
 #include "networks/Clusters.h"
 #include "networks/Explicit.h"
 #include "perm/GroupOrder.h"
@@ -24,6 +40,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace scg;
 
@@ -124,6 +142,104 @@ void printParallelScaling() {
   std::printf("%s\n\n", Table.render().c_str());
 }
 
+//===----------------------------------------------------------------------===//
+// E22: the distance-engine speedup curve (scalar vs bit-parallel MS-BFS).
+//===----------------------------------------------------------------------===//
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+struct Measurement {
+  std::string Name;
+  double Ms;
+  uint64_t Check; ///< diameter of the swept graph, pinning correctness.
+};
+
+/// Scalar all-pairs (one BFS per source) on star(k).
+Measurement scalarSweep(unsigned K) {
+  Graph G = ExplicitScg(SuperCayleyGraph::star(K)).toGraph();
+  auto Start = Clock::now();
+  DistanceStats S = scalarAllPairsStats(G);
+  return {"all_pairs_scalar_star" + std::to_string(K), msSince(Start),
+          S.Diameter};
+}
+
+/// Bit-parallel MS-BFS all-pairs (64 sources per word) on star(k), fed
+/// straight from the Next table (no Graph intermediary).
+Measurement msbfsSweep(unsigned K) {
+  Csr C = ExplicitScg(SuperCayleyGraph::star(K)).toCsr();
+  auto Start = Clock::now();
+  DistanceStats S = msAllPairsStats(C);
+  return {"all_pairs_msbfs_star" + std::to_string(K), msSince(Start),
+          S.Diameter};
+}
+
+/// The committed BENCH_distance.json curve: both engines at k = 6/7/8,
+/// MS-BFS alone at k = 9 (the scalar engine needs ~half an hour there,
+/// which is precisely the regime the bit-parallel engine opens up).
+std::vector<Measurement> distanceCurve() {
+  std::vector<Measurement> Ms;
+  for (unsigned K : {6u, 7u, 8u}) {
+    Ms.push_back(scalarSweep(K));
+    Ms.push_back(msbfsSweep(K));
+  }
+  Ms.push_back(msbfsSweep(9));
+  return Ms;
+}
+
+void printJson(const std::vector<Measurement> &Ms) {
+  std::printf("{\n");
+  for (size_t I = 0; I != Ms.size(); ++I)
+    std::printf("  \"%s\": {\"ms\": %.2f, \"check\": %llu}%s\n",
+                Ms[I].Name.c_str(), Ms[I].Ms,
+                (unsigned long long)Ms[I].Check,
+                I + 1 == Ms.size() ? "" : ",");
+  std::printf("}\n");
+}
+
+bool bitEqualDouble(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+/// Pinned workload for the perf-smoke lane: at star(6) and star(7), the
+/// bit-parallel engine must (a) be at least as fast as the scalar engine
+/// and (b) agree with it -- and with the vertex-transitivity shortcut --
+/// on the diameter, and bit for bit on the average distance.
+int runSmoke() {
+  int Failures = 0;
+  for (unsigned K : {6u, 7u}) {
+    ExplicitScg Net(SuperCayleyGraph::star(K));
+    Graph G = Net.toGraph();
+    auto StartScalar = Clock::now();
+    DistanceStats Scalar = scalarAllPairsStats(G);
+    double ScalarMs = msSince(StartScalar);
+    auto StartMs = Clock::now();
+    DistanceStats MsBfs = msAllPairsStats(Net.toCsr());
+    double MsbfsMs = msSince(StartMs);
+    DistanceStats Vt = vertexTransitiveStats(G);
+    double NodesPerSec = MsbfsMs > 0.0 ? Net.numNodes() / (MsbfsMs / 1e3) : 0;
+
+    bool Agree = Scalar.Connected && MsBfs.Connected &&
+                 Scalar.Diameter == MsBfs.Diameter &&
+                 bitEqualDouble(Scalar.AverageDistance, MsBfs.AverageDistance);
+    bool VtAgree = Vt.Diameter == MsBfs.Diameter;
+    bool Faster = MsbfsMs <= ScalarMs;
+    std::printf("star(%u): scalar %8.2f ms | msbfs %8.2f ms (%.1fx, %.0f "
+                "sources/s) | diam %u avg %.6f %s%s%s\n",
+                K, ScalarMs, MsbfsMs, ScalarMs / MsbfsMs, NodesPerSec,
+                MsBfs.Diameter, MsBfs.AverageDistance,
+                Agree ? "agree " : "ENGINE-MISMATCH ",
+                VtAgree ? "vt-ok " : "VT-MISMATCH ",
+                Faster ? "fast-ok" : "SLOWER-THAN-SCALAR");
+    Failures += !Agree + !VtAgree + !Faster;
+  }
+  return Failures ? 1 : 0;
+}
+
 void BM_BuildExplicitStar7(benchmark::State &State) {
   SuperCayleyGraph Star = SuperCayleyGraph::star(7);
   for (auto _ : State) {
@@ -161,6 +277,20 @@ BENCHMARK(BM_AllPairsStatsStar7)
 } // namespace
 
 int main(int argc, char **argv) {
+  bool Json = false, Smoke = false;
+  for (int I = 1; I != argc; ++I) {
+    Json |= std::strcmp(argv[I], "--json") == 0;
+    Smoke |= std::strcmp(argv[I], "--smoke") == 0;
+  }
+  if (Smoke) {
+    setGlobalThreadCount(1);
+    return runSmoke();
+  }
+  if (Json) {
+    setGlobalThreadCount(1);
+    printJson(distanceCurve());
+    return 0;
+  }
   printInventory();
   printParallelScaling();
   benchmark::Initialize(&argc, argv);

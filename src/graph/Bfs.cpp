@@ -14,6 +14,28 @@ BfsResult scg::bfs(const Graph &G, NodeId Source) {
   });
 }
 
+uint64_t scg::bfsReachableCount(const Graph &G, NodeId Source) {
+  const uint64_t NumNodes = G.numNodes();
+  assert(Source < NumNodes && "source out of range");
+  std::vector<bool> Visited(NumNodes, false);
+  Visited[Source] = true;
+  uint64_t Reached = 1;
+  std::vector<NodeId> Queue;
+  Queue.reserve(NumNodes);
+  Queue.push_back(Source);
+  for (size_t Head = 0; Head != Queue.size(); ++Head) {
+    for (NodeId Next : G.neighbors(Queue[Head])) {
+      if (Visited[Next])
+        continue;
+      Visited[Next] = true;
+      if (++Reached == NumNodes)
+        return Reached; // everything reached; the rest of the walk is moot.
+      Queue.push_back(Next);
+    }
+  }
+  return Reached;
+}
+
 BfsResult scg::bfsImplicit(uint64_t NumNodes, NodeId Source,
                            const NeighborFn &Neighbors) {
   // The legacy type-erased form: the enumerator stays a std::function, but

@@ -92,14 +92,30 @@ BfsResult bfsCore(uint64_t NumNodes, NodeId Source,
 /// BFS from \p Source over the explicit graph \p G.
 BfsResult bfs(const Graph &G, NodeId Source);
 
+/// Number of nodes reachable from \p Source (including it), with none of
+/// BfsResult's bookkeeping: no parent tree, no distances, no sums -- just a
+/// visited bitmap and a flat queue -- and an early exit the moment every
+/// node has been reached. This is the path connectivity probes
+/// (isConnectedFromZero, sweep guards) should take; a full bfs() for a
+/// reachability answer pays for state nobody reads.
+uint64_t bfsReachableCount(const Graph &G, NodeId Source);
+
 /// Callback enumerating out-neighbors of a node: invoked with the node id,
-/// must call the sink for each neighbor. Type-erased legacy form; prefer
-/// bfsCore with a concrete functor on hot paths.
+/// must call the sink for each neighbor.
+///
+/// COMPATIBILITY SHIM. This type-erased form predates the bfsCore template
+/// and survives only as an API for out-of-tree callers and as the shape of
+/// the reference BFS in tests/KernelDifferentialTest.cpp; an audit (PR 5)
+/// found no remaining in-tree hot-path users. New code should hand bfsCore
+/// a concrete functor (or use bfs/bfsExplicit), and multi-source sweeps
+/// should batch through graph/MsBfs.h instead of looping single sources.
 using NeighborFn =
     std::function<void(NodeId, const std::function<void(NodeId)> &)>;
 
 /// BFS from \p Source over an implicit graph on \p NumNodes nodes.
-/// Adapter over bfsCore for callers holding a type-erased NeighborFn.
+/// Adapter over bfsCore for callers holding a type-erased NeighborFn; pays
+/// a std::function dispatch per edge. See the NeighborFn note: this is a
+/// compatibility shim, not a hot-path entry point.
 BfsResult bfsImplicit(uint64_t NumNodes, NodeId Source,
                       const NeighborFn &Neighbors);
 

@@ -1,0 +1,29 @@
+//===- graph/Csr.cpp - Compressed sparse row adjacency -------------------===//
+
+#include "graph/Csr.h"
+
+#include <cassert>
+
+using namespace scg;
+
+Csr::Csr(const Graph &G) {
+  Offsets.resize(uint64_t(G.numNodes()) + 1);
+  Adjacency.resize(G.numDirectedEdges());
+  uint64_t Cursor = 0;
+  for (NodeId Node = 0; Node != G.numNodes(); ++Node) {
+    Offsets[Node] = Cursor;
+    for (NodeId Next : G.neighbors(Node))
+      Adjacency[Cursor++] = Next;
+  }
+  Offsets[G.numNodes()] = Cursor;
+  assert(Cursor == G.numDirectedEdges() && "edge count mismatch");
+}
+
+Csr::Csr(NodeId NumNodes, unsigned Degree, std::vector<NodeId> Flat)
+    : Adjacency(std::move(Flat)) {
+  assert(Adjacency.size() == uint64_t(NumNodes) * Degree &&
+         "flat table size must be NumNodes * Degree");
+  Offsets.resize(uint64_t(NumNodes) + 1);
+  for (uint64_t Node = 0; Node <= NumNodes; ++Node)
+    Offsets[Node] = Node * Degree;
+}

@@ -2,7 +2,7 @@
 
 #include "graph/Faults.h"
 
-#include "graph/Bfs.h"
+#include "graph/MsBfs.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -22,24 +22,35 @@ Graph scg::applyFaults(const Graph &G, const FaultSet &Faults) {
 
 FaultAnalysis scg::analyzeUnderFaults(const Graph &G,
                                       const FaultSet &Faults) {
-  Graph Surviving = applyFaults(G, Faults);
   FaultAnalysis Analysis;
+  std::vector<NodeId> Healthy;
+  Healthy.reserve(G.numNodes());
   for (NodeId Node = 0; Node != G.numNodes(); ++Node)
     if (!Faults.nodeFailed(Node))
-      ++Analysis.HealthyNodes;
-  if (Analysis.HealthyNodes == 0)
+      Healthy.push_back(Node);
+  Analysis.HealthyNodes = Healthy.size();
+  if (Healthy.empty())
     return Analysis;
 
+  // Healthy sources advance 64 per word through the bit-parallel BFS over
+  // the surviving graph (failed nodes keep their ids but have no links, so
+  // they are simply never reached). Batches run serially here: this whole
+  // analysis is already one scenario of a parallel sweep, and the early
+  // exit wants the node-order semantics of the scalar loop anyway.
+  Csr Surviving(applyFaults(G, Faults));
   Analysis.Connected = true;
-  for (NodeId Source = 0; Source != G.numNodes(); ++Source) {
-    if (Faults.nodeFailed(Source))
-      continue;
-    BfsResult R = bfs(Surviving, Source);
-    if (R.NumReached != Analysis.HealthyNodes) {
-      Analysis.Connected = false;
-      return Analysis;
+  for (size_t Begin = 0; Begin < Healthy.size(); Begin += MsBfsLanes) {
+    size_t Count = std::min<size_t>(MsBfsLanes, Healthy.size() - Begin);
+    MsBfsBatch Batch =
+        msBfs(Surviving, std::span(Healthy).subspan(Begin, Count));
+    for (size_t Lane = 0; Lane != Count; ++Lane) {
+      if (Batch.NumReached[Lane] != Analysis.HealthyNodes) {
+        Analysis.Connected = false;
+        return Analysis;
+      }
+      Analysis.Diameter =
+          std::max(Analysis.Diameter, Batch.Eccentricity[Lane]);
     }
-    Analysis.Diameter = std::max(Analysis.Diameter, R.Eccentricity);
   }
   return Analysis;
 }

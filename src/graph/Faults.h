@@ -20,16 +20,28 @@
 
 #include "graph/Graph.h"
 
-#include <set>
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace scg {
 
 /// A set of failed components. Node faults kill all incident links.
+///
+/// Storage is a pair of sorted vectors, not std::set: linkFailed runs once
+/// per directed edge per scenario in exhaustive single-fault sweeps, and a
+/// branchless binary search over a flat array beats pointer-chasing a
+/// red-black tree there by a measurable constant factor. Mutation appends
+/// and marks the vector dirty; the first query after a mutation
+/// sort+uniques it (queries on an already-sorted set pay nothing). Build
+/// and query phases must not interleave across threads -- the sweeps give
+/// every scenario its own FaultSet, so they never do.
 class FaultSet {
 public:
   /// Fails the directed link From -> To.
   void failDirectedLink(NodeId From, NodeId To) {
-    Links.insert({From, To});
+    Links.push_back({From, To});
+    LinksSorted = false;
   }
 
   /// Fails both directions of {A, B}.
@@ -39,21 +51,59 @@ public:
   }
 
   /// Fails a node (its links in both directions).
-  void failNode(NodeId Node) { Nodes.insert(Node); }
-
-  bool linkFailed(NodeId From, NodeId To) const {
-    return Nodes.count(From) || Nodes.count(To) ||
-           Links.count({From, To});
+  void failNode(NodeId Node) {
+    Nodes.push_back(Node);
+    NodesSorted = false;
   }
 
-  bool nodeFailed(NodeId Node) const { return Nodes.count(Node); }
+  bool linkFailed(NodeId From, NodeId To) const {
+    if (nodeFailed(From) || nodeFailed(To))
+      return true;
+    if (Links.empty())
+      return false;
+    ensureLinksSorted();
+    return std::binary_search(Links.begin(), Links.end(),
+                              std::pair<NodeId, NodeId>{From, To});
+  }
 
-  size_t numFailedNodes() const { return Nodes.size(); }
-  size_t numFailedLinks() const { return Links.size(); }
+  bool nodeFailed(NodeId Node) const {
+    if (Nodes.empty())
+      return false;
+    ensureNodesSorted();
+    return std::binary_search(Nodes.begin(), Nodes.end(), Node);
+  }
+
+  /// Distinct failed nodes / directed links (duplicates collapse, matching
+  /// the historical std::set semantics).
+  size_t numFailedNodes() const {
+    ensureNodesSorted();
+    return Nodes.size();
+  }
+  size_t numFailedLinks() const {
+    ensureLinksSorted();
+    return Links.size();
+  }
 
 private:
-  std::set<std::pair<NodeId, NodeId>> Links;
-  std::set<NodeId> Nodes;
+  void ensureLinksSorted() const {
+    if (LinksSorted)
+      return;
+    std::sort(Links.begin(), Links.end());
+    Links.erase(std::unique(Links.begin(), Links.end()), Links.end());
+    LinksSorted = true;
+  }
+  void ensureNodesSorted() const {
+    if (NodesSorted)
+      return;
+    std::sort(Nodes.begin(), Nodes.end());
+    Nodes.erase(std::unique(Nodes.begin(), Nodes.end()), Nodes.end());
+    NodesSorted = true;
+  }
+
+  mutable std::vector<std::pair<NodeId, NodeId>> Links;
+  mutable std::vector<NodeId> Nodes;
+  mutable bool LinksSorted = true;
+  mutable bool NodesSorted = true;
 };
 
 /// Returns \p G with every failed link removed (failed nodes keep their id
@@ -69,7 +119,9 @@ struct FaultAnalysis {
   uint64_t HealthyNodes = 0;
 };
 
-/// Analyzes \p G under \p Faults via BFS over all healthy sources.
+/// Analyzes \p G under \p Faults: healthy sources are batched 64 at a time
+/// through the bit-parallel multi-source BFS (graph/MsBfs.h), with an
+/// early exit on the first disconnected source.
 FaultAnalysis analyzeUnderFaults(const Graph &G, const FaultSet &Faults);
 
 /// Worst case over single-fault scenarios.

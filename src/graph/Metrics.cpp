@@ -3,6 +3,7 @@
 #include "graph/Metrics.h"
 
 #include "graph/Bfs.h"
+#include "graph/MsBfs.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -30,6 +31,12 @@ SweepAccum mergeSweep(SweepAccum A, const SweepAccum &B) {
 } // namespace
 
 DistanceStats scg::allPairsStats(const Graph &G) {
+  // Flattening to CSR is O(V + E), noise next to the sweep itself; the
+  // bit-parallel engine then advances 64 sources per word.
+  return msAllPairsStats(Csr(G));
+}
+
+DistanceStats scg::scalarAllPairsStats(const Graph &G) {
   DistanceStats Stats;
   if (G.numNodes() == 0)
     return Stats;
@@ -83,5 +90,5 @@ DistanceStats scg::vertexTransitiveStats(const Graph &G,
 bool scg::isConnectedFromZero(const Graph &G) {
   if (G.numNodes() == 0)
     return true;
-  return bfs(G, 0).NumReached == G.numNodes();
+  return bfsReachableCount(G, 0) == G.numNodes();
 }

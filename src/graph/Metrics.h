@@ -9,7 +9,14 @@
 /// For vertex-transitive graphs (every Cayley graph is), the eccentricity
 /// and distance distribution of a single node are those of every node, so
 /// one BFS suffices; the general all-pairs form is provided for the guest
-/// topologies and for cross-checking the transitivity shortcut in tests.
+/// topologies (meshes, trees -- not vertex-transitive) and for
+/// cross-checking the transitivity shortcut in tests and benches.
+///
+/// allPairsStats runs on the bit-parallel multi-source BFS engine
+/// (graph/MsBfs.h): 64 sources per machine word over CSR adjacency, which
+/// is what makes exact sweeps at k = 8 (40,320 nodes) routine. The scalar
+/// one-BFS-per-source engine survives as scalarAllPairsStats, the
+/// reference the bit-parallel results are pinned against.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,11 +34,18 @@ struct DistanceStats {
   double AverageDistance = 0.0; ///< Over ordered pairs of distinct nodes.
 };
 
-/// All-pairs statistics via one BFS per node (O(V * E)), parallel over
-/// source nodes on the global ThreadPool (SCG_THREADS=1 forces serial).
-/// Results are byte-identical at every thread count. For a disconnected
-/// graph, returns Connected=false with zeroed Diameter/AverageDistance.
+/// All-pairs statistics via bit-parallel multi-source BFS (64 sources per
+/// batch), parallel over batches on the global ThreadPool (SCG_THREADS=1
+/// forces serial). Results are byte-identical at every thread count and
+/// to scalarAllPairsStats. For a disconnected graph, returns
+/// Connected=false with zeroed Diameter/AverageDistance.
 DistanceStats allPairsStats(const Graph &G);
+
+/// The scalar reference engine: one BFS per source, parallel over source
+/// nodes. Kept as the differential baseline for the bit-parallel engine
+/// (tests/MsBfsTest.cpp, bench_network_properties); prefer allPairsStats
+/// everywhere else.
+DistanceStats scalarAllPairsStats(const Graph &G);
 
 /// Single-BFS statistics from \p Representative, valid for vertex-transitive
 /// graphs; \p Representative defaults to node 0.
@@ -39,6 +53,9 @@ DistanceStats vertexTransitiveStats(const Graph &G, NodeId Representative = 0);
 
 /// True if all nodes are reachable from node 0 (for undirected or strongly
 /// regular directed graphs this implies connectivity of interest here).
+/// Runs the lean reachability-only BFS (no parent/distance bookkeeping,
+/// early exit once every node is reached), so connectivity probes inside
+/// sweeps cost a fraction of a full BFS.
 bool isConnectedFromZero(const Graph &G);
 
 } // namespace scg

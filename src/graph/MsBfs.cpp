@@ -1,0 +1,115 @@
+//===- graph/MsBfs.cpp - Bit-parallel multi-source BFS -------------------===//
+
+#include "graph/MsBfs.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+using namespace scg;
+
+MsBfsBatch scg::msBfs(const Csr &G, std::span<const NodeId> Sources) {
+  MsBfsBatch Batch;
+  Batch.Eccentricity.assign(Sources.size(), 0);
+  Batch.NumReached.assign(Sources.size(), 0);
+  Batch.DistanceSum.assign(Sources.size(), 0);
+  msBfsCore(G, Sources, [&](NodeId, uint64_t NewMask, uint32_t Level) {
+    // Peel the newly arrived lanes; levels are ascending, so assigning the
+    // eccentricity each time leaves the per-lane maximum behind.
+    do {
+      unsigned Lane = unsigned(std::countr_zero(NewMask));
+      Batch.Eccentricity[Lane] = Level;
+      ++Batch.NumReached[Lane];
+      Batch.DistanceSum[Lane] += Level;
+      NewMask &= NewMask - 1;
+    } while (NewMask);
+  });
+  return Batch;
+}
+
+std::vector<std::vector<uint32_t>>
+scg::msBfsDistances(const Csr &G, std::span<const NodeId> Sources) {
+  std::vector<std::vector<uint32_t>> Rows(
+      Sources.size(),
+      std::vector<uint32_t>(G.numNodes(), UnreachableDistance));
+  msBfsCore(G, Sources, [&](NodeId Node, uint64_t NewMask, uint32_t Level) {
+    do {
+      Rows[unsigned(std::countr_zero(NewMask))][Node] = Level;
+      NewMask &= NewMask - 1;
+    } while (NewMask);
+  });
+  return Rows;
+}
+
+namespace {
+
+/// Order-independent batch partial (AND / max / exact sum), identical in
+/// shape to the scalar sweep's accumulator so the two engines fold the
+/// same integers into the same double at the end.
+struct SweepAccum {
+  bool AllConnected = true;
+  uint32_t Diameter = 0;
+  uint64_t DistanceSum = 0;
+};
+
+SweepAccum mergeSweep(SweepAccum A, const SweepAccum &B) {
+  A.AllConnected = A.AllConnected && B.AllConnected;
+  A.Diameter = std::max(A.Diameter, B.Diameter);
+  A.DistanceSum += B.DistanceSum;
+  return A;
+}
+
+} // namespace
+
+DistanceStats scg::msAllPairsStats(const Csr &G) {
+  DistanceStats Stats;
+  const uint64_t N = G.numNodes();
+  if (N == 0)
+    return Stats;
+  const uint64_t NumBatches = (N + MsBfsLanes - 1) / MsBfsLanes;
+  // Batch b owns sources [64b, min(64(b+1), N)); batches are independent
+  // (each owns its three bitmap arrays), and the early-out flag can only
+  // make a doomed sweep cheaper, never change its result.
+  std::atomic<bool> Disconnected{false};
+  SweepAccum Acc = ThreadPool::global().parallelMapReduce<SweepAccum>(
+      0, NumBatches, SweepAccum{},
+      [&](uint64_t Batch) {
+        SweepAccum One;
+        if (Disconnected.load(std::memory_order_relaxed)) {
+          One.AllConnected = false;
+          return One;
+        }
+        NodeId Begin = NodeId(Batch * MsBfsLanes);
+        NodeId End = NodeId(std::min<uint64_t>(N, Begin + MsBfsLanes));
+        std::vector<NodeId> Sources(End - Begin);
+        std::iota(Sources.begin(), Sources.end(), Begin);
+        // The whole-sweep statistics need no per-lane bookkeeping: a
+        // popcount per newly-reached word counts lane-visits, the level of
+        // the last visit is the batch's max eccentricity, and the batch is
+        // fully connected iff lane-visits total N per lane.
+        uint64_t Visits = 0;
+        msBfsCore(G, Sources,
+                  [&](NodeId, uint64_t NewMask, uint32_t Level) {
+                    unsigned Count = unsigned(std::popcount(NewMask));
+                    Visits += Count;
+                    One.DistanceSum += uint64_t(Level) * Count;
+                    One.Diameter = Level; // ascending levels: max wins.
+                  });
+        if (Visits != N * Sources.size()) {
+          Disconnected.store(true, std::memory_order_relaxed);
+          One = SweepAccum{};
+          One.AllConnected = false;
+        }
+        return One;
+      },
+      mergeSweep);
+  if (!Acc.AllConnected)
+    return Stats; // Connected=false, zeroed metrics.
+  Stats.Connected = true;
+  Stats.Diameter = Acc.Diameter;
+  uint64_t Pairs = N * (N - 1);
+  Stats.AverageDistance = Pairs ? double(Acc.DistanceSum) / double(Pairs) : 0.0;
+  return Stats;
+}

@@ -1,0 +1,133 @@
+//===- graph/MsBfs.h - Bit-parallel multi-source BFS -----------*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-parallel multi-source BFS over CSR adjacency: up to 64 sources
+/// advance together, one bit lane per source. Each node carries three
+/// 64-bit words (seen / current frontier / next frontier); a level step is
+/// one pass ORing every frontier word into its out-neighbors' next words
+/// and one pass committing next & ~seen. A node's word update does the
+/// work of up to 64 scalar BFS visits, which is what pushes exact
+/// all-pairs and fault sweeps from k = 7 to k = 8/9 territory.
+///
+/// The engine is msBfsCore, a visit-sink template in the bfsCore idiom:
+/// the sink fires once per (node, level) with the exact lane mask reaching
+/// the node at that level, and everything downstream -- per-source
+/// statistics (msBfs), distance matrices (msBfsDistances), whole-graph
+/// sweeps (msAllPairsStats) -- is a small inlined sink over it.
+///
+/// Determinism: the traversal is branch-free bit algebra over a fixed
+/// node order, so a batch's results are a pure function of (graph, source
+/// list). msAllPairsStats reduces batches with AND / max / exact integer
+/// sums through the ThreadPool's order-independent fold, so parallel runs
+/// are byte-identical to serial ones (pinned by tests/MsBfsTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_GRAPH_MSBFS_H
+#define SCG_GRAPH_MSBFS_H
+
+#include "graph/Bfs.h"
+#include "graph/Csr.h"
+#include "graph/Metrics.h"
+
+#include <bit>
+#include <cassert>
+#include <span>
+#include <vector>
+
+namespace scg {
+
+/// Number of BFS sources a single batch advances in bit-parallel: one per
+/// bit of the per-node frontier word.
+constexpr unsigned MsBfsLanes = 64;
+
+/// Level-synchronous bit-parallel BFS from \p Sources (at most MsBfsLanes)
+/// over \p G. Lane i is the BFS from Sources[i]. \p Visit is invoked as
+/// Visit(Node, LaneMask, Level) exactly once for every node some lane
+/// reaches, per level at which new lanes reach it: LaneMask holds exactly
+/// the lanes whose BFS first reaches Node at distance Level. Level 0 calls
+/// cover the sources themselves (duplicated sources share one call with
+/// both lanes set). Calls are emitted in ascending (Level, Node) order,
+/// so any fold over them is deterministic.
+template <typename OnVisit>
+void msBfsCore(const Csr &G, std::span<const NodeId> Sources,
+               OnVisit &&Visit) {
+  assert(Sources.size() <= MsBfsLanes && "at most 64 lanes per batch");
+  const NodeId N = G.numNodes();
+  if (Sources.empty() || N == 0)
+    return;
+  std::vector<uint64_t> Seen(N, 0), Frontier(N, 0), Next(N, 0);
+  for (size_t Lane = 0; Lane != Sources.size(); ++Lane) {
+    assert(Sources[Lane] < N && "source out of range");
+    Frontier[Sources[Lane]] |= uint64_t(1) << Lane;
+  }
+  // Level-0 visits: one call per distinct source node, in node order.
+  // Seen doubles as the "already emitted" marker here.
+  for (NodeId S : Sources) {
+    if (Seen[S])
+      continue;
+    Seen[S] = Frontier[S];
+    Visit(S, Frontier[S], uint32_t(0));
+  }
+
+  for (uint32_t Level = 1;; ++Level) {
+    // Push: every frontier word flows into the out-neighbors' next words.
+    for (NodeId Node = 0; Node != N; ++Node) {
+      uint64_t F = Frontier[Node];
+      if (!F)
+        continue;
+      for (NodeId To : G.neighbors(Node))
+        Next[To] |= F;
+    }
+    // Commit: lanes not yet seen become the new frontier; visit them.
+    uint64_t AnyNew = 0;
+    for (NodeId Node = 0; Node != N; ++Node) {
+      uint64_t New = Next[Node] & ~Seen[Node];
+      Next[Node] = 0;
+      Frontier[Node] = New;
+      if (New) {
+        Seen[Node] |= New;
+        AnyNew |= New;
+        Visit(Node, New, Level);
+      }
+    }
+    if (!AnyNew)
+      return;
+  }
+}
+
+/// Per-source results of one bit-parallel batch, indexed like \p Sources.
+/// Field semantics match BfsResult (eccentricity = largest finite
+/// distance, reached count includes the source, distance sum over finite
+/// distances) so scalar and bit-parallel engines are directly comparable.
+struct MsBfsBatch {
+  std::vector<uint32_t> Eccentricity;
+  std::vector<uint64_t> NumReached;
+  std::vector<uint64_t> DistanceSum;
+};
+
+/// Runs one batch and accumulates the per-source statistics.
+MsBfsBatch msBfs(const Csr &G, std::span<const NodeId> Sources);
+
+/// Full distance vectors per source (UnreachableDistance where a lane
+/// never arrives). Row i is the distance vector of Sources[i]; byte-equal
+/// to bfs(G, Sources[i]).Distance. Mainly for differential tests and
+/// dilation-style consumers that need the whole matrix slice.
+std::vector<std::vector<uint32_t>> msBfsDistances(const Csr &G,
+                                                  std::span<const NodeId>
+                                                      Sources);
+
+/// All-pairs distance statistics over \p G: sources batched 64 per word,
+/// batches spread over the global ThreadPool (SCG_THREADS=1 forces
+/// serial), results byte-identical at every thread count. This is the
+/// engine behind allPairsStats(const Graph &); call it directly when a
+/// Csr is already at hand (e.g. ExplicitScg::toCsr()).
+DistanceStats msAllPairsStats(const Csr &G);
+
+} // namespace scg
+
+#endif // SCG_GRAPH_MSBFS_H

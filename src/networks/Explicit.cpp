@@ -52,6 +52,8 @@ Graph ExplicitScg::toGraph() const {
   return G;
 }
 
+Csr ExplicitScg::toCsr() const { return Csr(Count, degree(), Next); }
+
 BfsResult scg::bfsExplicit(const ExplicitScg &Net, NodeId Source) {
   const std::vector<NodeId> &Table = Net.nextTable();
   unsigned Degree = Net.degree();

@@ -24,6 +24,7 @@
 
 #include "core/SuperCayleyGraph.h"
 #include "graph/Bfs.h"
+#include "graph/Csr.h"
 #include "graph/Graph.h"
 
 namespace scg {
@@ -59,6 +60,12 @@ public:
 
   /// Builds the plain Graph view (adjacency without generator labels).
   Graph toGraph() const;
+
+  /// CSR view for the bit-parallel distance engine (graph/MsBfs.h): the
+  /// row-major Next table already *is* CSR with uniform row length, so
+  /// this is one table copy and an implicit offsets ramp -- no Graph
+  /// intermediary, no per-node vectors.
+  Csr toCsr() const;
 
 private:
   SuperCayleyGraph Net;

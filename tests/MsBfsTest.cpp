@@ -1,0 +1,228 @@
+//===- tests/MsBfsTest.cpp - Bit-parallel multi-source BFS pins ----------===//
+//
+// Differential tests for the bit-parallel distance engine (graph/MsBfs.h):
+//
+//  * msBfs / msBfsDistances must agree with one scalar bfs() per source --
+//    distances, eccentricity, reached count, and distance sum, per lane --
+//    on every network family at k = 5, from both Csr builds (Graph
+//    flatten and ExplicitScg::toCsr).
+//  * Source lists that are not a multiple (or a divisor) of 64 lanes, in
+//    arbitrary order, with duplicates.
+//  * Disconnected and faulted graphs: unreached nodes, per-lane reached
+//    counts, and the Connected=false sweep result.
+//  * allPairsStats (now MS-BFS-backed) == scalarAllPairsStats everywhere,
+//    and parallel == serial byte-identity at 1/2/8 threads (the
+//    determinism contract, under the `parallel` ctest label).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Faults.h"
+#include "graph/Metrics.h"
+#include "graph/MsBfs.h"
+#include "networks/Classic.h"
+#include "networks/Explicit.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+using namespace scg;
+
+namespace {
+
+/// Every network family the library implements, materialized at k = 5
+/// (mirrors KernelDifferentialTest::allFamiliesK5).
+std::vector<SuperCayleyGraph> allFamiliesK5() {
+  std::vector<SuperCayleyGraph> Nets;
+  Nets.push_back(SuperCayleyGraph::star(5));
+  Nets.push_back(SuperCayleyGraph::bubbleSort(5));
+  Nets.push_back(SuperCayleyGraph::transpositionNetwork(5));
+  Nets.push_back(SuperCayleyGraph::rotator(5));
+  Nets.push_back(SuperCayleyGraph::insertionSelection(5));
+  Nets.push_back(
+      SuperCayleyGraph::transpositionTree(5, {{1, 2}, {2, 3}, {2, 4}, {4, 5}}));
+  for (NetworkKind Kind :
+       {NetworkKind::MacroStar, NetworkKind::RotationStar,
+        NetworkKind::CompleteRotationStar, NetworkKind::MacroRotator,
+        NetworkKind::RotationRotator, NetworkKind::CompleteRotationRotator,
+        NetworkKind::MacroIS, NetworkKind::RotationIS,
+        NetworkKind::CompleteRotationIS})
+    Nets.push_back(SuperCayleyGraph::create(Kind, 2, 2));
+  return Nets;
+}
+
+/// Checks one batch of sources against one scalar bfs() per source:
+/// distance rows byte-equal, per-lane stats equal.
+void expectBatchMatchesScalar(const Graph &G, const Csr &C,
+                              std::span<const NodeId> Sources,
+                              const std::string &What) {
+  MsBfsBatch Batch = msBfs(C, Sources);
+  std::vector<std::vector<uint32_t>> Rows = msBfsDistances(C, Sources);
+  ASSERT_EQ(Batch.Eccentricity.size(), Sources.size()) << What;
+  ASSERT_EQ(Rows.size(), Sources.size()) << What;
+  for (size_t Lane = 0; Lane != Sources.size(); ++Lane) {
+    BfsResult Ref = bfs(G, Sources[Lane]);
+    EXPECT_EQ(Rows[Lane], Ref.Distance)
+        << What << " lane " << Lane << " source " << Sources[Lane];
+    EXPECT_EQ(Batch.Eccentricity[Lane], Ref.Eccentricity) << What << " lane "
+                                                          << Lane;
+    EXPECT_EQ(Batch.NumReached[Lane], Ref.NumReached) << What << " lane "
+                                                      << Lane;
+    EXPECT_EQ(Batch.DistanceSum[Lane], Ref.DistanceSum) << What << " lane "
+                                                        << Lane;
+  }
+}
+
+bool bitEqual(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+void expectSameStats(const DistanceStats &A, const DistanceStats &B,
+                     const std::string &What) {
+  EXPECT_EQ(A.Connected, B.Connected) << What;
+  EXPECT_EQ(A.Diameter, B.Diameter) << What;
+  EXPECT_TRUE(bitEqual(A.AverageDistance, B.AverageDistance)) << What;
+}
+
+template <typename Fn> auto withThreads(unsigned Threads, Fn &&F) {
+  setGlobalThreadCount(Threads);
+  auto Result = F();
+  setGlobalThreadCount(0);
+  return Result;
+}
+
+TEST(MsBfs, MatchesScalarOnEveryFamilyFullSourceSet) {
+  for (const SuperCayleyGraph &Scg : allFamiliesK5()) {
+    ExplicitScg Net(Scg);
+    Graph G = Net.toGraph();
+    Csr FromGraph(G);
+    Csr FromTable = Net.toCsr();
+    // All 120 nodes as sources: batches of 64 + a 56-lane tail, from both
+    // CSR builds.
+    std::vector<NodeId> All(Net.numNodes());
+    std::iota(All.begin(), All.end(), 0);
+    for (size_t Begin = 0; Begin < All.size(); Begin += MsBfsLanes) {
+      size_t Count = std::min<size_t>(MsBfsLanes, All.size() - Begin);
+      auto Chunk = std::span(All).subspan(Begin, Count);
+      expectBatchMatchesScalar(G, FromGraph, Chunk,
+                               Scg.name() + " csr(graph)");
+      expectBatchMatchesScalar(G, FromTable, Chunk,
+                               Scg.name() + " csr(table)");
+    }
+  }
+}
+
+TEST(MsBfs, OddSourceCountsAndDuplicates) {
+  ExplicitScg Net(SuperCayleyGraph::star(5));
+  Graph G = Net.toGraph();
+  Csr C(G);
+  // 1, 2, 37, 63, 64 lanes; scattered, unordered, with a duplicate node.
+  std::vector<NodeId> Scattered;
+  for (NodeId I = 0; I != 63; ++I)
+    Scattered.push_back((I * 37 + 11) % Net.numNodes());
+  Scattered[20] = Scattered[3]; // duplicated source on two lanes.
+  for (size_t Count : {size_t(1), size_t(2), size_t(37), size_t(63),
+                       size_t(Scattered.size())})
+    expectBatchMatchesScalar(G, C, std::span(Scattered).first(Count),
+                             "star5 scattered " + std::to_string(Count));
+  std::vector<NodeId> Full(64, 0);
+  std::iota(Full.begin(), Full.end(), NodeId(17));
+  expectBatchMatchesScalar(G, C, Full, "star5 full word");
+}
+
+TEST(MsBfs, DisconnectedGraphPerLaneReach) {
+  // Two components (a 4-path and a 3-cycle) plus an isolated node.
+  Graph G(8);
+  for (NodeId I = 0; I + 1 != 4; ++I)
+    G.addUndirectedEdge(I, I + 1);
+  G.addUndirectedEdge(4, 5);
+  G.addUndirectedEdge(5, 6);
+  G.addUndirectedEdge(6, 4);
+  Csr C(G);
+  std::vector<NodeId> Sources(8);
+  std::iota(Sources.begin(), Sources.end(), 0);
+  expectBatchMatchesScalar(G, C, Sources, "two components");
+  MsBfsBatch Batch = msBfs(C, Sources);
+  EXPECT_EQ(Batch.NumReached[0], 4u);
+  EXPECT_EQ(Batch.NumReached[4], 3u);
+  EXPECT_EQ(Batch.NumReached[7], 1u); // the isolated node reaches itself.
+  EXPECT_EQ(Batch.Eccentricity[7], 0u);
+  EXPECT_EQ(Batch.DistanceSum[7], 0u);
+  expectSameStats(allPairsStats(G), scalarAllPairsStats(G), "disconnected");
+  EXPECT_FALSE(allPairsStats(G).Connected);
+}
+
+TEST(MsBfs, FaultedGraphMatchesScalar) {
+  ExplicitScg Net(SuperCayleyGraph::star(5));
+  Graph G = Net.toGraph();
+  FaultSet Faults;
+  Faults.failNode(7);
+  Faults.failNode(63);
+  Faults.failLink(0, G.neighbors(0)[0]);
+  Graph Surviving = applyFaults(G, Faults);
+  Csr C(Surviving);
+  std::vector<NodeId> Sources;
+  for (NodeId Node = 0; Node != Surviving.numNodes(); ++Node)
+    if (!Faults.nodeFailed(Node))
+      Sources.push_back(Node);
+  for (size_t Begin = 0; Begin < Sources.size(); Begin += MsBfsLanes)
+    expectBatchMatchesScalar(
+        Surviving, C,
+        std::span(Sources).subspan(
+            Begin, std::min<size_t>(MsBfsLanes, Sources.size() - Begin)),
+        "faulted star5");
+  expectSameStats(allPairsStats(Surviving), scalarAllPairsStats(Surviving),
+                  "faulted star5 sweep");
+}
+
+TEST(MsBfs, AllPairsMatchesScalarEngineOnEveryFamily) {
+  for (const SuperCayleyGraph &Scg : allFamiliesK5()) {
+    Graph G = ExplicitScg(Scg).toGraph();
+    expectSameStats(allPairsStats(G), scalarAllPairsStats(G), Scg.name());
+  }
+  // Non-vertex-transitive guests take the same engine.
+  for (const Graph &G : {mesh2D(4, 5), completeBinaryTree(4), hypercube(5)})
+    expectSameStats(allPairsStats(G), scalarAllPairsStats(G), "guest");
+}
+
+TEST(MsBfs, AllPairsMatchesScalarAtK6) {
+  // One larger instance (720 nodes: 12 batches) per acceptance criteria.
+  Graph G = ExplicitScg(SuperCayleyGraph::star(6)).toGraph();
+  expectSameStats(allPairsStats(G), scalarAllPairsStats(G), "star6");
+  Graph R = ExplicitScg(SuperCayleyGraph::rotator(6)).toGraph();
+  expectSameStats(allPairsStats(R), scalarAllPairsStats(R),
+                  "rotator6 (directed)");
+}
+
+TEST(MsBfs, ParallelSerialByteIdentity) {
+  for (const SuperCayleyGraph &Scg :
+       {SuperCayleyGraph::star(6),
+        SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2)}) {
+    Graph G = ExplicitScg(Scg).toGraph();
+    DistanceStats Ref = withThreads(1, [&] { return allPairsStats(G); });
+    for (unsigned Threads : {2u, 8u})
+      expectSameStats(Ref, withThreads(Threads, [&] {
+                        return allPairsStats(G);
+                      }),
+                      Scg.name() + " @" + std::to_string(Threads));
+  }
+}
+
+TEST(MsBfs, LeanReachabilityAgreesWithBfs) {
+  // The isConnectedFromZero fast path: counts must agree with full BFS on
+  // connected, disconnected, and directed graphs.
+  Graph Disconnected(6);
+  Disconnected.addUndirectedEdge(0, 1);
+  Disconnected.addUndirectedEdge(2, 3);
+  EXPECT_EQ(bfsReachableCount(Disconnected, 0), bfs(Disconnected, 0).NumReached);
+  EXPECT_FALSE(isConnectedFromZero(Disconnected));
+  for (const SuperCayleyGraph &Scg : allFamiliesK5()) {
+    Graph G = ExplicitScg(Scg).toGraph();
+    EXPECT_EQ(bfsReachableCount(G, 0), bfs(G, 0).NumReached) << Scg.name();
+    EXPECT_TRUE(isConnectedFromZero(G)) << Scg.name();
+  }
+}
+
+} // namespace
