@@ -1,11 +1,21 @@
-//===- comm/Simulator.cpp - Synchronous packet-level simulator -----------===//
+//===- comm/Simulator.cpp - Packet-level simulator (step + event) --------===//
+//
+// Two engines, one semantics. The step engine is the original globally
+// synchronous loop. The event engine reproduces its results exactly while
+// touching only scheduled work; the correspondence argument is spelled out
+// inline at each point where the engines could diverge (queue sampling,
+// multi-flit occupancy accounting, the MaxSteps cap, stalled traffic).
+//
+//===----------------------------------------------------------------------===//
 
 #include "comm/Simulator.h"
 
 #include "comm/SimObserver.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <queue>
 
 using namespace scg;
 
@@ -19,6 +29,17 @@ std::string scg::commModelName(CommModel Model) {
     return "single-dimension";
   }
   assert(false && "unknown model");
+  return "?";
+}
+
+std::string scg::simEngineName(SimEngine Engine) {
+  switch (Engine) {
+  case SimEngine::Step:
+    return "step";
+  case SimEngine::Event:
+    return "event";
+  }
+  assert(false && "unknown engine");
   return "?";
 }
 
@@ -48,6 +69,17 @@ void NetworkSimulator::injectPacket(NodeId Src, std::vector<GenIndex> Route,
   ++Pending;
 }
 
+uint32_t NetworkSimulator::scheduleInjection(uint64_t Step, NodeId Src,
+                                             std::vector<GenIndex> Route,
+                                             unsigned FlitCount) {
+  assert(Src < Net.numNodes() && "source out of range");
+  assert(FlitCount >= 1 && "a message carries at least one flit");
+  Packets.push_back({Src, 0, FlitCount, std::move(Route)});
+  uint32_t Id = Packets.size() - 1;
+  Injections.push_back({Step, Id});
+  return Id;
+}
+
 void NetworkSimulator::setDimensionCycle(std::vector<GenIndex> Cycle) {
   assert(!Cycle.empty() && "dimension cycle must be nonempty");
   DimensionCycle = std::move(Cycle);
@@ -72,39 +104,74 @@ void NetworkSimulator::enqueueOrDeliver(uint32_t Id, SimulationResult &Result,
 }
 
 SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
-  // One dispatch on entry: the uninstrumented loop contains no observer
+  // Scheduled injections enter their queues in (step, call order); the sort
+  // is stable so same-step packets keep their scheduling order.
+  std::stable_sort(Injections.begin(), Injections.end(),
+                   [](const TimedInjection &A, const TimedInjection &B) {
+                     return A.Step < B.Step;
+                   });
+  // One dispatch on entry: the uninstrumented loops contain no observer
   // code at all, so observability is free when no observer is attached.
-  if (Observers.empty() && !AlwaysInstrument)
-    return runImpl<false>(MaxSteps);
-  return runImpl<true>(MaxSteps);
+  const bool Observed = !Observers.empty() || AlwaysInstrument;
+  if (Engine == SimEngine::Event)
+    return Observed ? runEventImpl<true>(MaxSteps)
+                    : runEventImpl<false>(MaxSteps);
+  // Collection is decided by whether a hook is registered, not by
+  // forceInstrumentation: with no observer there is nothing to collect,
+  // so the forced mode exercises the dispatch and lands on the same
+  // pristine instantiation (which is the zero-overhead claim itself).
+  return Observers.empty() ? runImpl<false>(MaxSteps)
+                           : runImpl<true>(MaxSteps);
 }
 
-template <bool Observed>
+//===----------------------------------------------------------------------===//
+// Step engine: the globally synchronous reference loop
+//===----------------------------------------------------------------------===//
+
+template <bool Collect>
 SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
   SimulationResult Result;
   Result.Delivered = DeliveredAtInject;
   unsigned Degree = Net.degree();
   std::vector<uint32_t> Moved;
 
-  // Event collection is skipped when the instrumented loop runs with no
-  // observer attached (the forceInstrumentation benchmark mode): what
-  // remains is exactly the per-step hook overhead being measured.
+  // Collection is a compile-time parameter: with no observer attached the
+  // dispatch selects the Collect = false instantiation, whose hot loop
+  // contains no observer code at all -- zero-overhead observability is
+  // structural, not a measured budget (the forceInstrumentation benchmark
+  // mode verifies the dispatch itself stays free).
   StepEvents Events;
-  const bool Collect = Observed && !Observers.empty();
-  if constexpr (Observed) {
+  if constexpr (Collect) {
     Events.Model = Model;
     for (SimObserver *O : Observers)
       O->onRunBegin(*this);
   }
 
-  while (Pending != 0 && Result.Steps != MaxSteps) {
+  size_t InjCursor = 0;
+  while ((Pending != 0 || InjCursor != Injections.size()) &&
+         Result.Steps != MaxSteps) {
     uint64_t Step = Result.Steps++;
     Moved.clear();
-    if constexpr (Observed) {
-      if (Collect) {
-        Events.clear();
-        Events.Step = Step;
+    if constexpr (Collect) {
+      Events.clear();
+      Events.Step = Step;
+    }
+
+    // Scheduled injections enter their queues at the start of their step,
+    // before the occupancy sample, so they are visible exactly like pre-run
+    // injections are at step 0. Zero-hop injections deliver on the spot.
+    while (InjCursor != Injections.size() &&
+           Injections[InjCursor].Step <= Step) {
+      uint32_t Id = Injections[InjCursor++].Id;
+      const Packet &P = Packets[Id];
+      if (P.Route.empty()) {
+        ++Result.Delivered;
+        if constexpr (Collect)
+          Events.Deliveries.push_back(Id);
+        continue;
       }
+      Queues[queueIndex(P.At, P.Route.front())].push_back(Id);
+      ++Pending;
     }
 
     // Sample queue occupancy before transmissions so the initial burst is
@@ -112,12 +179,10 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
     for (const auto &Queue : Queues) {
       Result.MaxQueueLength =
           std::max<uint64_t>(Result.MaxQueueLength, Queue.size());
-      if constexpr (Observed) {
-        if (Collect) {
-          Events.QueuedPackets += Queue.size();
-          Events.MaxQueueDepth =
-              std::max<uint64_t>(Events.MaxQueueDepth, Queue.size());
-        }
+      if constexpr (Collect) {
+        Events.QueuedPackets += Queue.size();
+        Events.MaxQueueDepth =
+            std::max<uint64_t>(Events.MaxQueueDepth, Queue.size());
       }
     }
 
@@ -130,11 +195,9 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
       // The link is occupied this step by a transmission selected at an
       // earlier step (its selection step was counted at selection time).
       ++Result.BusyLinkSteps;
-      if constexpr (Observed) {
-        if (Collect)
-          Events.Active.push_back({NodeId(Q / Degree), GenIndex(Q % Degree),
-                                   F.Id, Packets[F.Id].Flits, false});
-      }
+      if constexpr (Collect)
+        Events.Active.push_back({NodeId(Q / Degree), GenIndex(Q % Degree),
+                                 F.Id, Packets[F.Id].Flits, false});
       if (F.DoneStep != Step)
         continue;
       // The link stays occupied through this arrival step (SelectLink
@@ -163,10 +226,8 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
       // The link is occupied from this step on (one step for a unit
       // packet, Flits steps for a store-and-forward message).
       ++Result.BusyLinkSteps;
-      if constexpr (Observed) {
-        if (Collect)
-          Events.Active.push_back({Node, Link, Id, P.Flits, true});
-      }
+      if constexpr (Collect)
+        Events.Active.push_back({Node, Link, Id, P.Flits, true});
       if (P.Flits > 1) {
         // Occupy the link for Flits steps; arrival in phase 0 of step
         // Step + Flits - 1, node port free again at Step + Flits.
@@ -207,11 +268,9 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
       break;
     case CommModel::SingleDimension: {
       GenIndex G = DimensionCycle[Step % DimensionCycle.size()];
-      if constexpr (Observed) {
-        if (Collect) {
-          Events.ScheduledLink = G;
-          Events.HasScheduledLink = true;
-        }
+      if constexpr (Collect) {
+        Events.ScheduledLink = G;
+        Events.HasScheduledLink = true;
       }
       for (NodeId Node = 0; Node != Net.numNodes(); ++Node)
         SelectLink(Node, G);
@@ -224,17 +283,560 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
     for (uint32_t Id : Moved)
       enqueueOrDeliver(Id, Result, Collect ? &Events.Deliveries : nullptr);
 
+    if constexpr (Collect) {
+      Events.Arrivals = Moved;
+      for (SimObserver *O : Observers)
+        O->onStep(*this, Events);
+    }
+  }
+
+  Result.Completed = (Pending == 0 && InjCursor == Injections.size());
+  uint64_t LinkSteps = uint64_t(Net.numNodes()) * Degree * Result.Steps;
+  Result.LinkUtilization =
+      LinkSteps ? double(Result.BusyLinkSteps) / double(LinkSteps) : 0.0;
+  // Engine-work diagnostic, computed analytically so the hot loop carries
+  // no counter: every step scans all queues (occupancy sample) and all
+  // in-flight slots, plus the selection sweep (per link under all-port,
+  // per node otherwise).
+  uint64_t QCount = uint64_t(Net.numNodes()) * Degree;
+  Result.TouchedWork =
+      Result.Steps * (2 * QCount + (Model == CommModel::AllPort
+                                        ? QCount
+                                        : uint64_t(Net.numNodes())));
+  if constexpr (Collect) {
+    for (SimObserver *O : Observers)
+      O->onRunEnd(*this, Result);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Event engine: sharded calendar queues
+//===----------------------------------------------------------------------===//
+//
+// Work is scheduled as (step, id) wake-ups in per-shard binary min-heaps:
+//
+//   entity wakes   "this queue (all-port / single-dimension) or this node
+//                  (single-port) may be able to transmit at step t"
+//   link wakes     "the multi-flit transmission on this link arrives (or,
+//                  observed, occupies the link) at step t"
+//
+// The main loop jumps to the globally earliest wake, so steps where
+// nothing can happen cost nothing; the step engine's per-step full scans
+// are replaced by O(work at that step). Wake-ups may be spurious (a queue
+// scheduled before its link went busy); processing re-derives everything
+// from simulator state, so spurious wakes reschedule and cannot change
+// results.
+//
+// Sharding: nodes are split into fixed contiguous ranges (a function of
+// the node count only). Every queue, heap slot, and wake array entry is
+// owned by exactly one shard. A processed step runs as
+//
+//   (main)   scheduled injections, in global call order
+//   phase A  per shard: pop link wakes then entity wakes == t (each heap
+//            pops in ascending id order, reproducing the step engine's
+//            scan order)
+//   phase B  per shard: scan every shard's moved lists in global order,
+//            enqueue/deliver the packets that now sit on *my* nodes
+//
+// with barriers between, so cross-shard hand-off happens only through the
+// moved lists and each destination queue receives its pushes in the exact
+// order the step engine would have produced. Results are therefore
+// byte-identical at every shard and thread count.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Min-heap of (step, id) wake-ups; pops in ascending (step, id) order,
+/// which is exactly the step engine's scan order within one step.
+using WakeHeap =
+    std::priority_queue<std::pair<uint64_t, uint32_t>,
+                        std::vector<std::pair<uint64_t, uint32_t>>,
+                        std::greater<std::pair<uint64_t, uint32_t>>>;
+
+constexpr uint64_t NoStep = ~uint64_t(0);
+
+} // namespace
+
+template <bool Observed>
+SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
+  SimulationResult Result;
+  Result.Delivered = DeliveredAtInject;
+  const unsigned Degree = Net.degree();
+  const NodeId N = Net.numNodes();
+  const size_t QCount = size_t(N) * Degree;
+
+  StepEvents Events;
+  const bool Collect = Observed && !Observers.empty();
+  if constexpr (Observed) {
+    Events.Model = Model;
+    for (SimObserver *O : Observers)
+      O->onRunBegin(*this);
+  }
+
+  // Shard layout: fixed contiguous node ranges, a function of the node
+  // count only -- never of the thread count -- so results are identical at
+  // every SCG_THREADS setting.
+  unsigned ShardCount = EventShards ? EventShards : effectiveThreadCount();
+  ShardCount = std::max(1u, std::min<unsigned>(ShardCount, std::max<NodeId>(N, 1)));
+  const NodeId NodesPerShard = N ? (N + ShardCount - 1) / ShardCount : 1;
+  auto ShardOfNode = [&](NodeId U) { return unsigned(U / NodesPerShard); };
+
+  // Entity granularity: per node under single-port (one selection per node
+  // per step, round-robin over its queues), per queue otherwise.
+  const bool PerNodeEntity = Model == CommModel::SinglePort;
+  const size_t EntityCount = PerNodeEntity ? N : QCount;
+
+  struct Shard {
+    WakeHeap Entity;
+    WakeHeap Link;
+    // Per-step scratch, cleared after every processed step.
+    std::vector<uint32_t> Arr; ///< phase-0 arrivals (multi-flit completions).
+    std::vector<uint32_t> Sel; ///< phase-1 unit-packet moves.
+    std::vector<LinkActivity> Active0, Active1; ///< observed link activity.
+    uint64_t DeliveredDelta = 0;
+    // Cumulative counters, reduced once at the end.
+    uint64_t Transmissions = 0;
+    uint64_t BusyLinkSteps = 0;
+    uint64_t Work = 0;
+    // MaxQueueLength bookkeeping: pushes land in PendingMax and are folded
+    // into CommittedMax only once a later step runs -- mirroring the step
+    // engine, which samples queues at the *start* of each step and so
+    // never sees pushes made during the final step before a MaxSteps cap.
+    uint64_t PendingMax = 0;
+    uint64_t CommittedMax = 0;
+    // Observed-mode occupancy sampling (pre-step, like the step engine).
+    uint64_t QueuedCount = 0;
+    uint64_t SampledQueued = 0;
+    uint64_t CurMaxDepth = 0;
+    uint64_t SampledMaxDepth = 0;
+    std::vector<uint64_t> DepthCount; ///< queues at each nonzero length.
+  };
+  std::vector<Shard> Shards(ShardCount);
+
+  // Wake bookkeeping: the earliest scheduled wake per entity/link, NoStep
+  // when none. Heap entries whose step no longer matches are stale and
+  // skipped on pop (the lazy-deletion idiom).
+  std::vector<uint64_t> EntityWake(EntityCount, NoStep);
+  std::vector<uint64_t> LinkWakeAt(QCount, NoStep);
+  // Selection step of the in-flight transmission per link (NoStep = none):
+  // occupancy is accounted in bulk at arrival (or at the cap), so
+  // BusyLinkSteps never depends on whether occupancy steps were observed.
+  std::vector<uint64_t> FlightSelStep(QCount, NoStep);
+  std::vector<uint32_t> NodeQueued(PerNodeEntity ? N : 0, 0);
+
+  // Single-dimension schedule: positions of each generator in the cycle,
+  // for jumping straight to the next step a queue's link is permitted.
+  const uint64_t CycleLen = DimensionCycle.size();
+  std::vector<std::vector<uint64_t>> CyclePos;
+  if (Model == CommModel::SingleDimension) {
+    CyclePos.resize(Degree);
+    for (uint64_t I = 0; I != CycleLen; ++I)
+      if (DimensionCycle[I] < Degree)
+        CyclePos[DimensionCycle[I]].push_back(I);
+  }
+  auto NextScheduledStep = [&](GenIndex G, uint64_t From) -> uint64_t {
+    const std::vector<uint64_t> &Pos = CyclePos[G];
+    if (Pos.empty())
+      return NoStep; // generator never scheduled: this traffic stalls.
+    uint64_t Base = From - From % CycleLen, Phase = From % CycleLen;
+    auto It = std::lower_bound(Pos.begin(), Pos.end(), Phase);
+    return It != Pos.end() ? Base + *It : Base + CycleLen + Pos.front();
+  };
+
+  auto ScheduleEntity = [&](size_t E, uint64_t T) {
+    if (T >= EntityWake[E])
+      return; // an earlier (or equal) wake is already scheduled.
+    EntityWake[E] = T;
+    NodeId Node = PerNodeEntity ? NodeId(E) : NodeId(E / Degree);
+    Shards[ShardOfNode(Node)].Entity.push({T, uint32_t(E)});
+  };
+  auto ScheduleLink = [&](size_t Q, uint64_t T) {
+    if (T >= LinkWakeAt[Q])
+      return;
+    LinkWakeAt[Q] = T;
+    Shards[ShardOfNode(NodeId(Q / Degree))].Link.push({T, uint32_t(Q)});
+  };
+  /// Schedules the owner entity of queue \p Q to try transmitting at the
+  /// first permitted step >= \p From.
+  auto WakeForQueue = [&](size_t Q, uint64_t From) {
+    switch (Model) {
+    case CommModel::AllPort:
+      ScheduleEntity(Q, From);
+      break;
+    case CommModel::SinglePort:
+      ScheduleEntity(Q / Degree, From);
+      break;
+    case CommModel::SingleDimension: {
+      uint64_t T = NextScheduledStep(GenIndex(Q % Degree), From);
+      if (T != NoStep)
+        ScheduleEntity(Q, T);
+      break;
+    }
+    }
+  };
+
+  // Observed-mode current-max-depth tracking (an exact histogram over
+  // nonzero queue lengths, so Events.MaxQueueDepth matches the step
+  // engine's full scan without one).
+  auto DepthAdd = [&](Shard &S, size_t Len) {
+    if (Len >= S.DepthCount.size())
+      S.DepthCount.resize(Len + 1, 0);
+    if (Len > 1)
+      --S.DepthCount[Len - 1];
+    ++S.DepthCount[Len];
+    S.CurMaxDepth = std::max<uint64_t>(S.CurMaxDepth, Len);
+  };
+  auto DepthRemove = [&](Shard &S, size_t Len) {
+    --S.DepthCount[Len];
+    if (Len > 1)
+      ++S.DepthCount[Len - 1];
+    while (S.CurMaxDepth && S.DepthCount[S.CurMaxDepth] == 0)
+      --S.CurMaxDepth;
+  };
+
+  /// Appends \p Id to queue \p Q and schedules its owner from \p From.
+  auto PushQueue = [&](size_t Q, uint32_t Id, uint64_t From) {
+    Queues[Q].push_back(Id);
+    size_t Len = Queues[Q].size();
+    Shard &S = Shards[ShardOfNode(NodeId(Q / Degree))];
+    S.PendingMax = std::max<uint64_t>(S.PendingMax, Len);
+    ++S.QueuedCount;
+    if (PerNodeEntity)
+      ++NodeQueued[Q / Degree];
+    if constexpr (Observed) {
+      if (Collect)
+        DepthAdd(S, Len);
+    }
+    WakeForQueue(Q, From);
+  };
+  auto PopFront = [&](size_t Q, Shard &S) {
+    size_t Len = Queues[Q].size();
+    Queues[Q].pop_front();
+    --S.QueuedCount;
+    if (PerNodeEntity)
+      --NodeQueued[Q / Degree];
+    if constexpr (Observed) {
+      if (Collect)
+        DepthRemove(S, Len);
+    }
+  };
+
+  // Initial wake scan: one pass over the pre-run injected queues. This is
+  // the only full O(nodes * degree) sweep the engine ever does.
+  for (size_t Q = 0; Q != QCount; ++Q) {
+    size_t Len = Queues[Q].size();
+    if (!Len)
+      continue;
+    Shard &S = Shards[ShardOfNode(NodeId(Q / Degree))];
+    S.PendingMax = std::max<uint64_t>(S.PendingMax, Len);
+    S.QueuedCount += Len;
+    if (PerNodeEntity)
+      NodeQueued[Q / Degree] += Len;
+    if constexpr (Observed) {
+      if (Collect)
+        for (size_t L = 1; L <= Len; ++L)
+          DepthAdd(S, L);
+    }
+    WakeForQueue(Q, 0);
+  }
+
+  /// Selects the front of queue \p Q for transmission at step \p T exactly
+  /// as the step engine's SelectLink selected path. Returns true when the
+  /// selected message is multi-flit (the link is now in flight).
+  auto SelectFrom = [&](size_t Q, uint64_t T, Shard &S) {
+    uint32_t Id = Queues[Q].front();
+    Packet &P = Packets[Id];
+    NodeId Node = NodeId(Q / Degree);
+    GenIndex Link = GenIndex(Q % Degree);
+    assert(P.At == Node && P.Route[P.NextHop] == Link && "queue corruption");
+    ++S.BusyLinkSteps; // the selection step itself.
+    if constexpr (Observed) {
+      if (Collect)
+        S.Active1.push_back({Node, Link, Id, P.Flits, true});
+    }
+    PopFront(Q, S);
+    if (P.Flits > 1) {
+      Busy[Q] = {Id, T + P.Flits - 1, true};
+      FlightSelStep[Q] = T;
+      NodeBusyUntil[Node] = T + P.Flits;
+      // Unobserved, only the arrival matters; observed, the link must wake
+      // every occupancy step so observers see the continuing activity.
+      ScheduleLink(Q, Collect ? T + 1 : T + P.Flits - 1);
+      return true;
+    }
+    P.At = Net.next(Node, Link);
+    ++P.NextHop;
+    S.Sel.push_back(Id);
+    ++S.Transmissions;
+    return false;
+  };
+
+  /// Phase A for one shard: link wakes (the step engine's phase 0) then
+  /// entity wakes (phase 1), each popped in ascending id order.
+  auto PhaseA = [&](Shard &S, uint64_t T) {
     if constexpr (Observed) {
       if (Collect) {
-        Events.Arrivals = Moved;
+        S.SampledQueued = S.QueuedCount;
+        S.SampledMaxDepth = S.CurMaxDepth;
+      }
+    }
+    while (!S.Link.empty() && S.Link.top().first == T) {
+      size_t Q = S.Link.top().second;
+      S.Link.pop();
+      if (LinkWakeAt[Q] != T)
+        continue; // stale entry superseded by an earlier wake.
+      LinkWakeAt[Q] = NoStep;
+      ++S.Work;
+      InFlight &F = Busy[Q];
+      if (!F.Active || F.DoneStep < T)
+        continue;
+      if constexpr (Observed) {
+        if (Collect)
+          S.Active0.push_back({NodeId(Q / Degree), GenIndex(Q % Degree),
+                               F.Id, Packets[F.Id].Flits, false});
+      }
+      if (F.DoneStep != T) {
+        ScheduleLink(Q, T + 1); // observed occupancy chain, no accounting.
+        continue;
+      }
+      // Arrival: the last flit lands. Occupancy steps after selection are
+      // accounted here in one add (the step engine added 1 per step).
+      Packet &P = Packets[F.Id];
+      GenIndex Link = P.Route[P.NextHop];
+      P.At = Net.next(P.At, Link);
+      ++P.NextHop;
+      S.Arr.push_back(F.Id);
+      ++S.Transmissions;
+      S.BusyLinkSteps += T - FlightSelStep[Q];
+      FlightSelStep[Q] = NoStep;
+      // The link stays occupied through the arrival step; queued traffic
+      // may transmit again from T + 1 (node port likewise frees at T + 1).
+      if (!Queues[Q].empty())
+        WakeForQueue(Q, T + 1);
+    }
+
+    while (!S.Entity.empty() && S.Entity.top().first == T) {
+      size_t E = S.Entity.top().second;
+      S.Entity.pop();
+      if (EntityWake[E] != T)
+        continue;
+      EntityWake[E] = NoStep;
+      ++S.Work;
+      if (!PerNodeEntity) {
+        size_t Q = E;
+        if (Busy[Q].Active && Busy[Q].DoneStep >= T) {
+          // Mid-message: first possible transmission is DoneStep + 1.
+          if (!Queues[Q].empty())
+            WakeForQueue(Q, Busy[Q].DoneStep + 1);
+          continue;
+        }
+        if (Queues[Q].empty())
+          continue; // spurious (queue drained since scheduling).
+        bool Multi = SelectFrom(Q, T, S);
+        if (!Queues[Q].empty())
+          WakeForQueue(Q, Multi ? Busy[Q].DoneStep + 1 : T + 1);
+        continue;
+      }
+      // Single-port: one selection per node per step, round-robin so no
+      // queue starves -- the step engine's loop verbatim.
+      NodeId Node = NodeId(E);
+      if (NodeBusyUntil[Node] > T) {
+        if (NodeQueued[Node])
+          ScheduleEntity(Node, NodeBusyUntil[Node]);
+        continue;
+      }
+      for (unsigned Offset = 0; Offset != Degree; ++Offset) {
+        GenIndex G = (PortPointer[Node] + Offset) % Degree;
+        size_t Q = queueIndex(Node, G);
+        if (Busy[Q].Active && Busy[Q].DoneStep >= T)
+          continue;
+        if (Queues[Q].empty())
+          continue;
+        bool Multi = SelectFrom(Q, T, S);
+        PortPointer[Node] = (G + 1) % Degree;
+        if (NodeQueued[Node])
+          ScheduleEntity(Node, Multi ? NodeBusyUntil[Node] : T + 1);
+        break;
+      }
+    }
+  };
+
+  /// Phase B for one shard: walk every shard's moved lists in the step
+  /// engine's global order (all arrivals by queue id, then all selections
+  /// by node id) and enqueue/deliver the packets now sitting on my nodes.
+  auto PhaseB = [&](Shard &Me, unsigned MyIdx, uint64_t T) {
+    auto Handle = [&](uint32_t Id) {
+      Packet &P = Packets[Id];
+      if (ShardOfNode(P.At) != MyIdx)
+        return;
+      if (P.NextHop == P.Route.size()) {
+        ++Me.DeliveredDelta;
+        return;
+      }
+      PushQueue(queueIndex(P.At, P.Route[P.NextHop]), Id, T + 1);
+    };
+    for (const Shard &Src : Shards)
+      for (uint32_t Id : Src.Arr)
+        Handle(Id);
+    for (const Shard &Src : Shards)
+      for (uint32_t Id : Src.Sel)
+        Handle(Id);
+  };
+
+  ThreadPool &Pool = ThreadPool::global();
+  const bool Parallel = ShardCount > 1;
+  size_t InjCursor = 0;
+  uint64_t LastProcessed = NoStep;
+  uint64_t MainWork = 0;
+  bool Capped = false;
+
+  auto NextWake = [&]() {
+    uint64_t T =
+        InjCursor != Injections.size() ? Injections[InjCursor].Step : NoStep;
+    for (const Shard &S : Shards) {
+      if (!S.Entity.empty())
+        T = std::min(T, S.Entity.top().first);
+      if (!S.Link.empty())
+        T = std::min(T, S.Link.top().first);
+    }
+    return T;
+  };
+
+  while (Pending != 0 || InjCursor != Injections.size()) {
+    uint64_t T = NextWake();
+    if (T >= MaxSteps) {
+      // Cap reached (or traffic is permanently stalled, e.g. a generator
+      // missing from the dimension cycle): the step engine would grind
+      // empty steps to the cap.
+      Capped = true;
+      break;
+    }
+
+    // Committing here makes pushes from earlier steps visible, matching
+    // the step engine's start-of-step queue sample: any push is sampled
+    // iff at least one later step runs.
+    for (Shard &S : Shards) {
+      S.CommittedMax = std::max(S.CommittedMax, S.PendingMax);
+      S.PendingMax = 0;
+    }
+    if constexpr (Observed) {
+      if (Collect) {
+        Events.clear();
+        Events.Step = T;
+      }
+    }
+
+    // Scheduled injections, applied on the main thread in global call
+    // order (each push still lands in its owner shard's bookkeeping).
+    while (InjCursor != Injections.size() &&
+           Injections[InjCursor].Step <= T) {
+      uint32_t Id = Injections[InjCursor++].Id;
+      const Packet &P = Packets[Id];
+      ++MainWork;
+      if (P.Route.empty()) {
+        ++Result.Delivered;
+        if constexpr (Observed) {
+          if (Collect)
+            Events.Deliveries.push_back(Id);
+        }
+        continue;
+      }
+      PushQueue(queueIndex(P.At, P.Route.front()), Id, T);
+      ++Pending;
+    }
+    // Injections are visible to this step's sample in the step engine.
+    for (Shard &S : Shards) {
+      S.CommittedMax = std::max(S.CommittedMax, S.PendingMax);
+      S.PendingMax = 0;
+    }
+
+    if (Parallel) {
+      Pool.parallelFor(0, ShardCount,
+                       [&](uint64_t I) { PhaseA(Shards[I], T); },
+                       /*ChunkSize=*/1);
+      Pool.parallelFor(0, ShardCount,
+                       [&](uint64_t I) { PhaseB(Shards[I], unsigned(I), T); },
+                       /*ChunkSize=*/1);
+    } else {
+      PhaseA(Shards[0], T);
+      PhaseB(Shards[0], 0, T);
+    }
+
+    uint64_t DeliveredNow = 0;
+    for (Shard &S : Shards) {
+      DeliveredNow += S.DeliveredDelta;
+      S.DeliveredDelta = 0;
+    }
+    Pending -= DeliveredNow;
+    Result.Delivered += DeliveredNow;
+
+    if constexpr (Observed) {
+      if (Collect) {
+        if (Model == CommModel::SingleDimension) {
+          Events.ScheduledLink = DimensionCycle[T % CycleLen];
+          Events.HasScheduledLink = true;
+        }
+        for (const Shard &S : Shards) {
+          Events.QueuedPackets += S.SampledQueued;
+          Events.MaxQueueDepth =
+              std::max(Events.MaxQueueDepth, S.SampledMaxDepth);
+          Events.Active.insert(Events.Active.end(), S.Active0.begin(),
+                               S.Active0.end());
+        }
+        for (const Shard &S : Shards)
+          Events.Active.insert(Events.Active.end(), S.Active1.begin(),
+                               S.Active1.end());
+        for (const Shard &S : Shards)
+          Events.Arrivals.insert(Events.Arrivals.end(), S.Arr.begin(),
+                                 S.Arr.end());
+        for (const Shard &S : Shards)
+          Events.Arrivals.insert(Events.Arrivals.end(), S.Sel.begin(),
+                                 S.Sel.end());
+        for (uint32_t Id : Events.Arrivals)
+          if (Packets[Id].NextHop == Packets[Id].Route.size())
+            Events.Deliveries.push_back(Id);
         for (SimObserver *O : Observers)
           O->onStep(*this, Events);
       }
     }
+    for (Shard &S : Shards) {
+      S.Arr.clear();
+      S.Sel.clear();
+      S.Active0.clear();
+      S.Active1.clear();
+    }
+    LastProcessed = T;
   }
 
-  Result.Completed = (Pending == 0);
-  uint64_t LinkSteps = uint64_t(Net.numNodes()) * Degree * Result.Steps;
+  if (Capped) {
+    Result.Steps = MaxSteps;
+    Result.Completed = false;
+    // The step engine ran the steps in (LastProcessed, MaxSteps) empty; if
+    // any exist, their queue samples saw the last step's pushes.
+    if (MaxSteps > (LastProcessed == NoStep ? 0 : LastProcessed + 1))
+      for (Shard &S : Shards) {
+        S.CommittedMax = std::max(S.CommittedMax, S.PendingMax);
+        S.PendingMax = 0;
+      }
+    // In-flight messages occupy their links through every executed step.
+    for (size_t Q = 0; Q != QCount; ++Q)
+      if (FlightSelStep[Q] != NoStep)
+        Shards[ShardOfNode(NodeId(Q / Degree))].BusyLinkSteps +=
+            (MaxSteps - 1) - FlightSelStep[Q];
+  } else {
+    Result.Steps = LastProcessed == NoStep ? 0 : LastProcessed + 1;
+    Result.Completed = true;
+  }
+
+  for (const Shard &S : Shards) {
+    Result.Transmissions += S.Transmissions;
+    Result.BusyLinkSteps += S.BusyLinkSteps;
+    Result.MaxQueueLength = std::max(Result.MaxQueueLength, S.CommittedMax);
+    Result.TouchedWork += S.Work;
+  }
+  Result.TouchedWork += MainWork;
+  uint64_t LinkSteps = uint64_t(N) * Degree * Result.Steps;
   Result.LinkUtilization =
       LinkSteps ? double(Result.BusyLinkSteps) / double(LinkSteps) : 0.0;
   if constexpr (Observed) {

@@ -1,12 +1,12 @@
-//===- comm/Simulator.h - Synchronous packet-level simulator ---*- C++ -*-===//
+//===- comm/Simulator.h - Packet-level simulator (step + event) *- C++ -*-===//
 //
 // Part of the super-cayley-graphs project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A synchronous packet-level network simulator over an explicit super
-/// Cayley graph, implementing the paper's three communication models:
+/// A packet-level network simulator over an explicit super Cayley graph,
+/// implementing the paper's three communication models:
 ///
 ///   all-port          every directed link moves one packet per step
 ///   single-port       every node transmits on at most one link per step
@@ -17,6 +17,30 @@
 /// Packets carry fixed source routes (generator words). Per-link FIFO
 /// queues, two-phase step execution (select transmissions, then apply), and
 /// completion/utilization statistics.
+///
+/// Two interchangeable engines execute the same semantics:
+///
+///   SimEngine::Step   the original globally synchronous loop: every step
+///                     scans all queues and links. Cost per step is
+///                     O(nodes * degree) even when nothing is in flight.
+///   SimEngine::Event  a calendar-queue core that only touches nodes/links
+///                     with pending work and fast-forwards over empty
+///                     steps. Results (Steps, Delivered, Transmissions,
+///                     BusyLinkSteps, MaxQueueLength, LinkUtilization) are
+///                     byte-identical to the step engine -- pinned by
+///                     tests/EventCoreDifferentialTest.cpp -- but cost is
+///                     proportional to actual activity, which is what makes
+///                     steady-state load sweeps (comm/Workload.h) feasible.
+///
+/// The event engine can additionally shard per-node state across the
+/// global ThreadPool (setEventShards): shard boundaries are a fixed
+/// function of the node count, every queue/heap is owned by exactly one
+/// shard, and each step runs as two deterministic phases with barriers, so
+/// parallel runs are byte-identical to serial ones at every thread count.
+///
+/// Traffic can be injected up front (injectPacket) or scheduled for a
+/// future step (scheduleInjection), which is how the open-loop workload
+/// driver offers load at a configurable injection rate.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +61,12 @@ enum class CommModel { AllPort, SinglePort, SingleDimension };
 /// Returns a display name ("all-port", ...).
 std::string commModelName(CommModel Model);
 
+/// The two execution engines (identical results, different cost model).
+enum class SimEngine { Step, Event };
+
+/// Returns a display name ("step", "event").
+std::string simEngineName(SimEngine Engine);
+
 /// Outcome of a simulation run.
 struct SimulationResult {
   bool Completed = false; ///< all packets delivered within the step cap.
@@ -52,6 +82,12 @@ struct SimulationResult {
   uint64_t BusyLinkSteps = 0;
   uint64_t MaxQueueLength = 0;
   double LinkUtilization = 0.0; ///< BusyLinkSteps / (links * steps).
+  /// Engine-work diagnostic: queue/link slots the engine examined. This is
+  /// the one field that is *engine-dependent by design* (the step engine
+  /// scans everything every step, the event engine only touches scheduled
+  /// work), so it is excluded from engine-identity comparisons. The
+  /// sparse-traffic speedup of the event core is this ratio.
+  uint64_t TouchedWork = 0;
 };
 
 class SimObserver;
@@ -68,6 +104,21 @@ public:
   const ExplicitScg &net() const { return Net; }
   CommModel model() const { return Model; }
 
+  /// Selects the execution engine (default SimEngine::Step, the historical
+  /// behavior). Results are byte-identical either way; see the file
+  /// comment for the cost trade-off.
+  void setEngine(SimEngine E) { Engine = E; }
+  SimEngine engine() const { return Engine; }
+
+  /// Event engine only: shards per-node state into \p Shards fixed,
+  /// contiguous node ranges executed in parallel on the global ThreadPool
+  /// with two barriers per processed step. 1 (the default) runs serially;
+  /// 0 resolves to the effective thread count. Results are byte-identical
+  /// at every shard and thread count (fixed shard boundaries, per-shard
+  /// calendar queues, and phase-2 pushes applied in global step order by
+  /// the owning shard).
+  void setEventShards(unsigned Shards) { EventShards = Shards; }
+
   /// Injects a packet at \p Src that will follow \p Route hop by hop.
   /// \p FlitCount > 1 models a store-and-forward message: each link
   /// transmission occupies the link for FlitCount consecutive steps (the
@@ -76,12 +127,24 @@ public:
   void injectPacket(NodeId Src, std::vector<GenIndex> Route,
                     unsigned FlitCount = 1);
 
+  /// Schedules a packet to be injected at the start of step \p Step (so it
+  /// is eligible to transmit during that step). Open-loop traffic at a
+  /// configurable injection rate is built from these. Returns the packet
+  /// id, which identifies the packet in StepEvents::Deliveries. Packets
+  /// scheduled for the same step are injected in call order.
+  uint32_t scheduleInjection(uint64_t Step, NodeId Src,
+                             std::vector<GenIndex> Route,
+                             unsigned FlitCount = 1);
+
   /// For the single-dimension model: the generator used at step t is
   /// Cycle[t % Cycle.size()]. Defaults to cycling all generators in order.
   void setDimensionCycle(std::vector<GenIndex> Cycle);
 
   /// Attaches a step observer (non-owning; must outlive run()). Observers
-  /// fire in attachment order at the end of every step.
+  /// fire in attachment order at the end of every step. Under the event
+  /// engine, steps with no scheduled work are fast-forwarded and fire no
+  /// onStep (there is nothing to report: no link is busy, no packet
+  /// moves, queue contents are unchanged).
   void addObserver(SimObserver *Observer);
 
   /// Benchmark knob: forces run() through the instrumented loop even with
@@ -90,7 +153,8 @@ public:
   /// bench_pipelining --smoke). Results are unaffected.
   void forceInstrumentation(bool On) { AlwaysInstrument = On; }
 
-  /// Runs until every packet is delivered or \p MaxSteps elapse.
+  /// Runs until every packet (including scheduled injections) is delivered
+  /// or \p MaxSteps elapse.
   SimulationResult run(uint64_t MaxSteps);
 
 private:
@@ -108,6 +172,13 @@ private:
     bool Active = false;
   };
 
+  /// A scheduled future injection: Packets[Id] enters its first queue at
+  /// the start of step Step.
+  struct TimedInjection {
+    uint64_t Step;
+    uint32_t Id;
+  };
+
   /// Queue index of (node, link).
   size_t queueIndex(NodeId Node, GenIndex Link) const {
     return size_t(Node) * Net.degree() + Link;
@@ -119,16 +190,25 @@ private:
   void enqueueOrDeliver(uint32_t Id, SimulationResult &Result,
                         std::vector<uint32_t> *DeliveredOut);
 
-  /// The step loop. Instantiated twice: Observed = false is the pristine
-  /// hot loop (no event collection, no hook checks); Observed = true adds
-  /// the observer machinery. run() dispatches once on entry.
-  template <bool Observed> SimulationResult runImpl(uint64_t MaxSteps);
+  /// The step-engine loop. Instantiated twice: Collect = false is the
+  /// pristine hot loop (no event collection, no hook checks, selected
+  /// whenever no observer is attached); Collect = true adds the observer
+  /// machinery. run() dispatches once on entry, so zero-overhead
+  /// observability is structural.
+  template <bool Collect> SimulationResult runImpl(uint64_t MaxSteps);
+
+  /// The event-engine loop (calendar queues, sharded). Same Observed
+  /// dispatch contract as runImpl.
+  template <bool Observed> SimulationResult runEventImpl(uint64_t MaxSteps);
 
   const ExplicitScg &Net;
   CommModel Model;
+  SimEngine Engine = SimEngine::Step;
+  unsigned EventShards = 1;
   std::vector<Packet> Packets;
   std::vector<std::deque<uint32_t>> Queues;
   std::vector<InFlight> Busy; ///< per-link multi-flit transmission state.
+  std::vector<TimedInjection> Injections; ///< future injections, by Step.
   std::vector<GenIndex> DimensionCycle;
   std::vector<GenIndex> PortPointer; ///< round-robin state per node.
   /// Single-port rule for store-and-forward messages: a node whose port is

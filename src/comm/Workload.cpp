@@ -1,0 +1,280 @@
+//===- comm/Workload.cpp - Synthetic traffic workloads --------------------===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "comm/Workload.h"
+
+#include "comm/SimObserver.h"
+#include "emulation/ScgRouter.h"
+#include "support/Format.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace scg;
+
+std::string scg::workloadKindName(WorkloadKind Kind) {
+  switch (Kind) {
+  case WorkloadKind::UniformRandom:
+    return "uniform";
+  case WorkloadKind::Hotspot:
+    return "hotspot";
+  case WorkloadKind::Transpose:
+    return "transpose";
+  case WorkloadKind::BitReversal:
+    return "bit-reversal";
+  case WorkloadKind::BurstyUniform:
+    return "bursty";
+  }
+  assert(false && "unknown workload kind");
+  return "?";
+}
+
+NodeId WorkloadGenerator::transposeDestination(const ExplicitScg &Net,
+                                               NodeId U) {
+  return Net.rankOf(Net.label(U).inverse());
+}
+
+NodeId WorkloadGenerator::bitReversalDestination(NodeId U, NodeId Count) {
+  assert(Count != 0 && U < Count && "node out of range");
+  unsigned Bits = 0;
+  while ((NodeId(1) << Bits) < Count)
+    ++Bits;
+  NodeId Rev = 0;
+  for (unsigned B = 0; B != Bits; ++B)
+    if (U & (NodeId(1) << B))
+      Rev |= NodeId(1) << (Bits - 1 - B);
+  return Rev % Count;
+}
+
+WorkloadGenerator::WorkloadGenerator(const ExplicitScg &Net,
+                                     const WorkloadSpec &Spec)
+    : Net(Net), Spec(Spec) {
+  assert(Net.numNodes() >= 2 && "workloads need at least two nodes");
+  assert(Spec.InjectionRate >= 0.0 && "negative injection rate");
+  if (Spec.Kind == WorkloadKind::Transpose) {
+    for (NodeId U = 0; U != Net.numNodes(); ++U)
+      FixedDest.push_back(transposeDestination(Net, U));
+  } else if (Spec.Kind == WorkloadKind::BitReversal) {
+    for (NodeId U = 0; U != Net.numNodes(); ++U)
+      FixedDest.push_back(bitReversalDestination(U, Net.numNodes()));
+  }
+}
+
+namespace {
+
+/// Uniform [0, 1) from the top 53 bits of one SplitMix64 draw; bit-exact
+/// on every platform, unlike std::uniform_real_distribution.
+double nextU01(SplitMix64 &R) {
+  return double(R.next() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform destination over the nodes other than \p Src.
+NodeId uniformOther(SplitMix64 &R, NodeId Src, NodeId Count) {
+  NodeId D = NodeId(R.nextBelow(Count - 1));
+  return D >= Src ? D + 1 : D;
+}
+
+} // namespace
+
+std::vector<TrafficEvent> WorkloadGenerator::generate(uint64_t Steps) const {
+  const NodeId Count = Net.numNodes();
+  // One stream per source node, all advanced in the same step-major order,
+  // so the trace never depends on how it is consumed. Per-node seeds are
+  // SplitMix64 *outputs*, not raw states: states spaced by the generator's
+  // own golden-ratio increment would make every node replay its neighbor's
+  // sequence one draw behind, synchronizing injections into waves.
+  std::vector<SplitMix64> Streams;
+  Streams.reserve(Count);
+  SplitMix64 SeedStream(Spec.Seed);
+  for (NodeId U = 0; U != Count; ++U)
+    Streams.emplace_back(SeedStream.next());
+
+  const bool Bursty = Spec.Kind == WorkloadKind::BurstyUniform;
+  // Bursty arrivals: a two-state Markov source per node. Mean on-period
+  // MeanBurstLength, mean off-period chosen so the long-run on-fraction is
+  // BurstDutyCycle; while on, inject at InjectionRate / BurstDutyCycle so
+  // the long-run offered rate still equals InjectionRate.
+  double Duty = Spec.BurstDutyCycle;
+  double OnExit = 0.0, OffExit = 0.0, OnRate = 0.0;
+  std::vector<uint8_t> On;
+  if (Bursty) {
+    assert(Duty > 0.0 && Duty <= 1.0 && "duty cycle out of range");
+    assert(Spec.MeanBurstLength >= 1.0 && "mean burst below one step");
+    OnExit = 1.0 / Spec.MeanBurstLength;
+    double MeanOff = Spec.MeanBurstLength * (1.0 - Duty) / Duty;
+    OffExit = MeanOff > 0.0 ? 1.0 / MeanOff : 1.0;
+    OnRate = std::min(1.0, Spec.InjectionRate / Duty);
+    On.resize(Count);
+    for (NodeId U = 0; U != Count; ++U)
+      On[U] = nextU01(Streams[U]) < Duty ? 1 : 0;
+  }
+
+  std::vector<TrafficEvent> Trace;
+  for (uint64_t Step = 0; Step != Steps; ++Step) {
+    for (NodeId U = 0; U != Count; ++U) {
+      SplitMix64 &R = Streams[U];
+      bool Inject;
+      if (Bursty) {
+        Inject = On[U] && nextU01(R) < OnRate;
+        // State transition drawn every step, after the arrival draw.
+        if (On[U])
+          On[U] = nextU01(R) < OnExit ? 0 : 1;
+        else
+          On[U] = nextU01(R) < OffExit ? 1 : 0;
+        if (!Inject)
+          continue;
+      } else {
+        if (nextU01(R) >= Spec.InjectionRate)
+          continue;
+      }
+      NodeId Dst;
+      switch (Spec.Kind) {
+      case WorkloadKind::UniformRandom:
+      case WorkloadKind::BurstyUniform:
+        Dst = uniformOther(R, U, Count);
+        break;
+      case WorkloadKind::Hotspot:
+        if (nextU01(R) < Spec.HotspotFraction && Spec.HotspotNode != U)
+          Dst = Spec.HotspotNode;
+        else
+          Dst = uniformOther(R, U, Count);
+        break;
+      case WorkloadKind::Transpose:
+      case WorkloadKind::BitReversal:
+        Dst = FixedDest[U];
+        break;
+      }
+      Trace.push_back({Step, U, Dst});
+    }
+  }
+  return Trace;
+}
+
+namespace {
+
+/// Records the delivery step of every packet id it sees.
+class DeliveryRecorder final : public SimObserver {
+public:
+  explicit DeliveryRecorder(size_t PacketCount)
+      : DeliverStep(PacketCount, ~uint64_t(0)) {}
+
+  void onStep(const NetworkSimulator &, const StepEvents &Events) override {
+    for (uint32_t Id : Events.Deliveries)
+      if (Id < DeliverStep.size())
+        DeliverStep[Id] = Events.Step;
+  }
+
+  std::vector<uint64_t> DeliverStep;
+};
+
+/// Averages Events.QueuedPackets over the steps the engine reports (the
+/// event core fast-forwards empty steps, so this is "over active steps").
+class OccupancyRecorder final : public SimObserver {
+public:
+  void onStep(const NetworkSimulator &, const StepEvents &Events) override {
+    QueuedSum += Events.QueuedPackets;
+    ++ActiveSteps;
+  }
+  uint64_t QueuedSum = 0;
+  uint64_t ActiveSteps = 0;
+};
+
+} // namespace
+
+TrafficLoadResult scg::simulateTrafficLoad(const ExplicitScg &Net,
+                                           CommModel Model,
+                                           const WorkloadSpec &Spec,
+                                           uint64_t Steps,
+                                           const TrafficLoadOptions &Options) {
+  const NodeId Count = Net.numNodes();
+  WorkloadGenerator Gen(Net, Spec);
+  std::vector<TrafficEvent> Trace = Gen.generate(Steps);
+
+  NetworkSimulator Sim(Net, Model);
+  Sim.setEngine(Options.Engine);
+  Sim.setEventShards(Options.Shards);
+
+  // Routes are the lifted optimal star routes (as in permutation routing);
+  // the (src, dst) cache matters because steady-state traffic revisits
+  // pairs, and route computation dominates trace setup at k = 6.
+  std::unordered_map<uint64_t, std::vector<GenIndex>> RouteCache;
+  const SuperCayleyGraph &Host = Net.network();
+  std::vector<uint64_t> InjectStep;
+  std::vector<unsigned> Hops;
+  InjectStep.reserve(Trace.size());
+  Hops.reserve(Trace.size());
+  for (const TrafficEvent &E : Trace) {
+    uint64_t Key = uint64_t(E.Src) * Count + E.Dst;
+    auto It = RouteCache.find(Key);
+    if (It == RouteCache.end()) {
+      std::vector<GenIndex> Route;
+      if (E.Src != E.Dst)
+        Route = routeViaStarEmulation(Host, Net.label(E.Src),
+                                      Net.label(E.Dst))
+                    .hops();
+      It = RouteCache.emplace(Key, std::move(Route)).first;
+    }
+    uint32_t Id =
+        Sim.scheduleInjection(E.Step, E.Src, It->second, Spec.FlitCount);
+    assert(Id == InjectStep.size() && "packet ids not contiguous");
+    (void)Id;
+    InjectStep.push_back(E.Step);
+    Hops.push_back(unsigned(It->second.size()));
+  }
+
+  DeliveryRecorder Recorder(Trace.size());
+  OccupancyRecorder Occupancy;
+  Sim.addObserver(&Recorder);
+  Sim.addObserver(&Occupancy);
+  for (SimObserver *O : Options.Observers)
+    Sim.addObserver(O);
+
+  TrafficLoadResult Result;
+  Result.Sim = Sim.run(Steps);
+  Result.Offered = Trace.size();
+  double NodeSteps = double(Count) * double(Steps ? Steps : 1);
+  Result.OfferedRate = double(Result.Offered) / NodeSteps;
+  Result.DeliveredRate = double(Result.Sim.Delivered) / NodeSteps;
+
+  std::vector<uint64_t> Latencies;
+  uint64_t HopSum = 0;
+  uint64_t LatencySum = 0;
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    if (Recorder.DeliverStep[I] == ~uint64_t(0))
+      continue; // still in the network at the horizon.
+    uint64_t Latency =
+        Hops[I] ? Recorder.DeliverStep[I] - InjectStep[I] + 1 : 0;
+    Latencies.push_back(Latency);
+    LatencySum += Latency;
+    HopSum += Hops[I];
+  }
+  if (!Latencies.empty()) {
+    Result.MeanHops = double(HopSum) / double(Latencies.size());
+    Result.MeanLatency = double(LatencySum) / double(Latencies.size());
+    std::sort(Latencies.begin(), Latencies.end());
+    Result.P50Latency = Latencies[(Latencies.size() - 1) * 50 / 100];
+    Result.P99Latency = Latencies[(Latencies.size() - 1) * 99 / 100];
+  }
+  if (Occupancy.ActiveSteps)
+    Result.MeanQueued =
+        double(Occupancy.QueuedSum) / double(Occupancy.ActiveSteps);
+
+  if (MetricsRegistry *Reg = Options.Registry) {
+    Reg->counter("traffic.offered").add(Result.Offered);
+    Reg->counter("traffic.delivered").add(Result.Sim.Delivered);
+    Reg->gauge("traffic.offered_rate").set(Result.OfferedRate);
+    Reg->gauge("traffic.delivered_rate").set(Result.DeliveredRate);
+    Reg->gauge("traffic.mean_latency").set(Result.MeanLatency);
+    Reg->gauge("traffic.p50_latency").set(double(Result.P50Latency));
+    Reg->gauge("traffic.p99_latency").set(double(Result.P99Latency));
+    Reg->gauge("traffic.mean_queued").set(Result.MeanQueued);
+    Reg->gauge("traffic.max_queue_length")
+        .set(double(Result.Sim.MaxQueueLength));
+  }
+  return Result;
+}
