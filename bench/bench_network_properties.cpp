@@ -1,4 +1,4 @@
-//===- bench/bench_network_properties.cpp - Experiments E13 / E22 --------===//
+//===- bench/bench_network_properties.cpp - Experiments E13 / E22 / E24 --===//
 //
 // Reproduces the Section 2 network inventory: every super Cayley graph
 // class (plus the classic comparison networks) with its size, degree,
@@ -6,24 +6,32 @@
 // diameters (given their node degree) and small node degrees"; the table
 // makes the degree/diameter trade-off concrete.
 //
-// Also reports the parallel execution engine's scaling: allPairsStats on
-// the largest inventory graph (star(7), 5040 nodes) timed serially and at
-// 2/4/8 threads, with the byte-identity of the results asserted.
+// Also carries the exact-distance engine curve (E22/E24): scalar vs
+// top-down (push) vs direction-optimizing (hybrid) all-pairs sweeps on
+// the star family, plus the hybrid's 1/2/4/8-thread scaling table.
 //
 // Modes (consistent with bench_kernels / bench_pipelining):
 //   (default)  inventory table + scaling + google-benchmark timings
-//   --json     machine-readable distance-engine curve on stdout: scalar
-//              vs bit-parallel MS-BFS all-pairs at k = 6/7/8 plus the
-//              MS-BFS-only k = 9 point. Regenerates the committed
-//              BENCH_distance.json (the k >= 8 points take minutes of
-//              single-thread time; that is the point of the curve).
+//   --json     machine-readable distance-engine curve on stdout. Every
+//              entry records engine + thread-count metadata; hybrid
+//              entries add the distance.* counters (push/pull words,
+//              direction switches) that explain the win. Regenerates the
+//              committed BENCH_distance.json up to star(9); pass
+//              "--maxk 10" to append the exact star(10) sweep (3.6M
+//              nodes -- an hours-scale single-machine run, which is the
+//              point of that row).
+//   --threads  just the hybrid thread-scaling table (human-readable).
 //   --smoke    bounded pinned workload (star 6/7), non-zero exit unless
-//              MS-BFS throughput >= scalar AND both engines agree on
-//              diameter / average distance bit for bit; wired into ctest
-//              under the perf-smoke label.
+//              push >= scalar throughput at both sizes, hybrid >= push at
+//              star(7) on tuned -march=native builds / hybrid within
+//              1.25x of push on portable ones (star(6) is sub-millisecond
+//              and setup-dominated, so it only feeds the agreement
+//              checks), AND all three engines agree on diameter / average
+//              distance bit for bit; wired into ctest under the
+//              perf-smoke label.
 //
-// --json and --smoke force a single thread so numbers are comparable
-// across machines and unaffected by the pool size.
+// --json and --smoke force a single thread (except the explicit scaling
+// entries) so numbers are comparable across machines.
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,13 +42,17 @@
 #include "perm/GroupOrder.h"
 #include "support/BatchRunner.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 using namespace scg;
@@ -106,25 +118,194 @@ void printInventory() {
               "diameters with ~n + l links instead of k - 1.\n\n");
 }
 
-void printParallelScaling() {
-  std::printf("parallel engine: allPairsStats on star(7) (5040 nodes, one "
-              "BFS per node) at 1/2/4/8 threads\n");
-  std::printf("(hardware concurrency here: %u; SCG_THREADS overrides)\n\n",
-              defaultThreadCount());
-  ExplicitScg Net(SuperCayleyGraph::star(7));
-  Graph G = Net.toGraph();
+//===----------------------------------------------------------------------===//
+// E22/E24: the distance-engine curve (scalar vs push vs hybrid MS-BFS)
+// and the hybrid thread-scaling table.
+//===----------------------------------------------------------------------===//
 
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+struct Measurement {
+  std::string Name;
+  double Ms;
+  uint64_t Check; ///< diameter of the swept graph, pinning correctness.
+  const char *Engine;
+  unsigned Threads = 1;
+  /// Exact average internodal distance, full precision -- the committed
+  /// JSON doubles as the certificate of the swept value (engines and
+  /// thread counts must reproduce it bit for bit).
+  double AvgDistance = 0.0;
+  /// Hybrid-only telemetry (distance.* counters) explaining the win.
+  std::optional<MsBfsCounters> Counters;
+};
+
+uint64_t counterValue(const MetricsRegistry &M, const std::string &Name) {
+  const Metric *C = M.find(Name);
+  return C ? uint64_t(C->value()) : 0;
+}
+
+/// Sub-second sweeps (k <= 7) are dominated by first-touch noise (cold
+/// scratch, hugepage setup, frequency ramp) on a single cold shot, so
+/// the committed curve reports best-of-3 there; the k >= 8 sweeps run
+/// seconds to hours and are stable single-shot.
+int curveReps(unsigned K) { return K <= 7 ? 3 : 1; }
+
+/// Scalar all-pairs (one BFS per source) on star(k).
+Measurement scalarSweep(unsigned K) {
+  Graph G = ExplicitScg(SuperCayleyGraph::star(K)).toGraph();
+  double BestMs = 1e300;
+  DistanceStats S;
+  for (int Rep = 0, Reps = curveReps(K); Rep != Reps; ++Rep) {
+    auto Start = Clock::now();
+    S = scalarAllPairsStats(G);
+    BestMs = std::min(BestMs, msSince(Start));
+  }
+  return {"all_pairs_scalar_star" + std::to_string(K), BestMs, S.Diameter,
+          "scalar", 1, S.AverageDistance, std::nullopt};
+}
+
+/// MS-BFS all-pairs on star(k), fed straight from the Next table (no
+/// Graph intermediary), on the chosen engine at \p Threads threads. The
+/// hybrid run carries its work counters into the measurement.
+Measurement msbfsSweep(unsigned K, MsBfsEngine Engine, unsigned Threads = 1) {
+  Csr C = ExplicitScg(SuperCayleyGraph::star(K)).toCsr();
+  const char *Name = Engine == MsBfsEngine::Push ? "push" : "hybrid";
+  // One extra rep at k = 8 relative to curveReps: the first ~29 MB-scale
+  // scratch allocation of a process pays hugepage compaction on first
+  // touch, which lands entirely on whichever star(8) entry runs first
+  // and fakes a thread-scaling "speedup" on a single-core host. Best-of-2
+  // keeps every star(8) entry warm-measured for ~1.5 s apiece.
+  const int Reps = K <= 7 ? 3 : K == 8 ? 2 : 1;
+  MetricsRegistry Registry;
+  MsSweepOptions Opts;
+  Opts.Engine = Engine;
+  // Counters must describe exactly one sweep. Where the curve reps for
+  // best-of (k <= 7) the timed reps run uncounted and one extra untimed
+  // counted run follows; the single-shot k >= 8 sweeps are counted
+  // directly -- counter accounting is per-node arithmetic that does not
+  // measurably perturb a seconds-to-hours sweep, and re-running star(10)
+  // just to keep the timed shot uncounted would double an hours run.
+  if (Engine == MsBfsEngine::Hybrid && Reps == 1)
+    Opts.Metrics = &Registry;
+  setGlobalThreadCount(Threads);
+  double Ms = 1e300;
+  DistanceStats S;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    auto Start = Clock::now();
+    S = msAllPairsStats(C, Opts);
+    Ms = std::min(Ms, msSince(Start));
+  }
+  if (Engine == MsBfsEngine::Hybrid && Reps > 1) {
+    Opts.Metrics = &Registry;
+    msAllPairsStats(C, Opts);
+  }
+  setGlobalThreadCount(1);
+  Measurement M{"all_pairs_" + std::string(Name) + "_star" +
+                    std::to_string(K) +
+                    (Threads == 1 ? "" : "_t" + std::to_string(Threads)),
+                Ms, S.Diameter, Name, Threads, S.AverageDistance,
+                std::nullopt};
+  if (Engine == MsBfsEngine::Hybrid) {
+    MsBfsCounters Counters;
+    Counters.Batches = counterValue(Registry, "distance.batches");
+    Counters.PushLevels = counterValue(Registry, "distance.push_levels");
+    Counters.PullLevels = counterValue(Registry, "distance.pull_levels");
+    Counters.PushWords = counterValue(Registry, "distance.push_words");
+    Counters.PullWords = counterValue(Registry, "distance.pull_words");
+    Counters.DirectionSwitches =
+        counterValue(Registry, "distance.direction_switches");
+    M.Counters = Counters;
+  }
+  return M;
+}
+
+/// The committed BENCH_distance.json curve: all three engines at
+/// k = 6/7/8, push + hybrid at k = 9 (the scalar engine needs ~half an
+/// hour there), hybrid alone at k = 10 (3.6M nodes; only the hybrid
+/// completes it in hours rather than days), plus the hybrid's
+/// 1/2/4/8-thread scaling points on the k = 8 sweep.
+std::vector<Measurement> distanceCurve(unsigned MaxK) {
+  std::vector<Measurement> Ms;
+  // The k >= 9 sweeps run for minutes to hours; narrate each completed
+  // measurement on stderr so a redirected --json run stays observable.
+  auto Log = [&Ms] {
+    const Measurement &M = Ms.back();
+    std::fprintf(stderr,
+                 "[distance-curve] %-28s %12.2f ms  diam %llu  avg %.6f\n",
+                 M.Name.c_str(), M.Ms, (unsigned long long)M.Check,
+                 M.AvgDistance);
+  };
+  for (unsigned K : {6u, 7u, 8u}) {
+    Ms.push_back(scalarSweep(K));
+    Log();
+    Ms.push_back(msbfsSweep(K, MsBfsEngine::Push));
+    Log();
+    Ms.push_back(msbfsSweep(K, MsBfsEngine::Hybrid));
+    Log();
+  }
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    Ms.push_back(msbfsSweep(8, MsBfsEngine::Hybrid, Threads));
+    Log();
+  }
+  if (MaxK >= 9) {
+    Ms.push_back(msbfsSweep(9, MsBfsEngine::Push));
+    Log();
+    Ms.push_back(msbfsSweep(9, MsBfsEngine::Hybrid));
+    Log();
+  }
+  if (MaxK >= 10) {
+    Ms.push_back(msbfsSweep(10, MsBfsEngine::Hybrid));
+    Log();
+  }
+  return Ms;
+}
+
+void printJson(const std::vector<Measurement> &Ms) {
+  std::printf("{\n");
+  for (size_t I = 0; I != Ms.size(); ++I) {
+    const Measurement &M = Ms[I];
+    std::printf("  \"%s\": {\"ms\": %.2f, \"check\": %llu, \"engine\": "
+                "\"%s\", \"threads\": %u, \"avg_distance\": %.17g",
+                M.Name.c_str(), M.Ms, (unsigned long long)M.Check, M.Engine,
+                M.Threads, M.AvgDistance);
+    if (M.Counters)
+      std::printf(", \"push_words\": %llu, \"pull_words\": %llu, "
+                  "\"push_levels\": %llu, \"pull_levels\": %llu, "
+                  "\"direction_switches\": %llu",
+                  (unsigned long long)M.Counters->PushWords,
+                  (unsigned long long)M.Counters->PullWords,
+                  (unsigned long long)M.Counters->PushLevels,
+                  (unsigned long long)M.Counters->PullLevels,
+                  (unsigned long long)M.Counters->DirectionSwitches);
+    std::printf("}%s\n", I + 1 == Ms.size() ? "" : ",");
+  }
+  std::printf("}\n");
+}
+
+/// Human-readable hybrid scaling table: the k = 8 sweep at 1/2/4/8
+/// threads with byte-identity asserted against the single-thread run.
+void printThreadScaling() {
+  std::printf("hybrid engine thread scaling: msAllPairsStats on star(8) "
+              "(40,320 nodes, 630 batches) at 1/2/4/8 threads\n");
+  std::printf("(hardware concurrency here: %u; SCG_THREADS overrides; on a "
+              "1-core host wall-clock parity is the ceiling and the table "
+              "verifies determinism, not speedup)\n\n",
+              defaultThreadCount());
+  Csr C = ExplicitScg(SuperCayleyGraph::star(8)).toCsr();
   TextTable Table;
   Table.setHeader({"threads", "wall ms", "speedup", "diameter", "avg dist"});
   double BaselineMs = 0.0;
   DistanceStats Reference;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     setGlobalThreadCount(Threads);
-    auto Start = std::chrono::steady_clock::now();
-    DistanceStats Stats = allPairsStats(G);
-    double Ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - Start)
-                    .count();
+    auto Start = Clock::now();
+    DistanceStats Stats = msAllPairsStats(C);
+    double Ms = msSince(Start);
     benchmark::DoNotOptimize(Stats);
     if (Threads == 1) {
       BaselineMs = Ms;
@@ -142,100 +323,88 @@ void printParallelScaling() {
   std::printf("%s\n\n", Table.render().c_str());
 }
 
-//===----------------------------------------------------------------------===//
-// E22: the distance-engine speedup curve (scalar vs bit-parallel MS-BFS).
-//===----------------------------------------------------------------------===//
-
-using Clock = std::chrono::steady_clock;
-
-double msSince(Clock::time_point Start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
-      .count();
-}
-
-struct Measurement {
-  std::string Name;
-  double Ms;
-  uint64_t Check; ///< diameter of the swept graph, pinning correctness.
-};
-
-/// Scalar all-pairs (one BFS per source) on star(k).
-Measurement scalarSweep(unsigned K) {
-  Graph G = ExplicitScg(SuperCayleyGraph::star(K)).toGraph();
-  auto Start = Clock::now();
-  DistanceStats S = scalarAllPairsStats(G);
-  return {"all_pairs_scalar_star" + std::to_string(K), msSince(Start),
-          S.Diameter};
-}
-
-/// Bit-parallel MS-BFS all-pairs (64 sources per word) on star(k), fed
-/// straight from the Next table (no Graph intermediary).
-Measurement msbfsSweep(unsigned K) {
-  Csr C = ExplicitScg(SuperCayleyGraph::star(K)).toCsr();
-  auto Start = Clock::now();
-  DistanceStats S = msAllPairsStats(C);
-  return {"all_pairs_msbfs_star" + std::to_string(K), msSince(Start),
-          S.Diameter};
-}
-
-/// The committed BENCH_distance.json curve: both engines at k = 6/7/8,
-/// MS-BFS alone at k = 9 (the scalar engine needs ~half an hour there,
-/// which is precisely the regime the bit-parallel engine opens up).
-std::vector<Measurement> distanceCurve() {
-  std::vector<Measurement> Ms;
-  for (unsigned K : {6u, 7u, 8u}) {
-    Ms.push_back(scalarSweep(K));
-    Ms.push_back(msbfsSweep(K));
-  }
-  Ms.push_back(msbfsSweep(9));
-  return Ms;
-}
-
-void printJson(const std::vector<Measurement> &Ms) {
-  std::printf("{\n");
-  for (size_t I = 0; I != Ms.size(); ++I)
-    std::printf("  \"%s\": {\"ms\": %.2f, \"check\": %llu}%s\n",
-                Ms[I].Name.c_str(), Ms[I].Ms,
-                (unsigned long long)Ms[I].Check,
-                I + 1 == Ms.size() ? "" : ",");
-  std::printf("}\n");
-}
-
 bool bitEqualDouble(double A, double B) {
   return std::memcmp(&A, &B, sizeof(double)) == 0;
 }
 
-/// Pinned workload for the perf-smoke lane: at star(6) and star(7), the
-/// bit-parallel engine must (a) be at least as fast as the scalar engine
-/// and (b) agree with it -- and with the vertex-transitivity shortcut --
-/// on the diameter, and bit for bit on the average distance.
+/// Pinned workload for the perf-smoke lane: at star(6) and star(7) -- the
+/// latter the dense-diameter family instance (5040 nodes, diameter 9,
+/// frontier covering >1/3 of the graph at mid-levels) -- the engines must
+/// order hybrid >= push >= scalar on throughput, and all three must agree
+/// on the diameter and bit for bit on the average distance (with the
+/// vertex-transitivity shortcut as a fourth witness). The hybrid run must
+/// also report pull work: a hybrid that never switches direction is a
+/// misconfigured heuristic, not a faster engine.
+///
+/// Timing discipline: every timed run is uncounted (the counters for the
+/// pull-work check come from one extra untimed run), and each engine
+/// takes the best of three reps -- ctest runs this lane alongside other
+/// tests, and a single descheduled rep must not fail the ordering check.
 int runSmoke() {
+  constexpr int Reps = 3;
   int Failures = 0;
   for (unsigned K : {6u, 7u}) {
     ExplicitScg Net(SuperCayleyGraph::star(K));
     Graph G = Net.toGraph();
-    auto StartScalar = Clock::now();
-    DistanceStats Scalar = scalarAllPairsStats(G);
-    double ScalarMs = msSince(StartScalar);
-    auto StartMs = Clock::now();
-    DistanceStats MsBfs = msAllPairsStats(Net.toCsr());
-    double MsbfsMs = msSince(StartMs);
+    Csr C = Net.toCsr();
+    DistanceStats Scalar, Push, Hybrid;
+    double ScalarMs = 1e300, PushMs = 1e300, HybridMs = 1e300;
+    for (int Rep = 0; Rep != Reps; ++Rep) {
+      auto StartScalar = Clock::now();
+      Scalar = scalarAllPairsStats(G);
+      ScalarMs = std::min(ScalarMs, msSince(StartScalar));
+      auto StartPush = Clock::now();
+      Push = msAllPairsStats(C, {MsBfsEngine::Push, nullptr});
+      PushMs = std::min(PushMs, msSince(StartPush));
+      auto StartHybrid = Clock::now();
+      Hybrid = msAllPairsStats(C, {MsBfsEngine::Hybrid, nullptr});
+      HybridMs = std::min(HybridMs, msSince(StartHybrid));
+    }
+    MetricsRegistry Registry;
+    msAllPairsStats(C, {MsBfsEngine::Hybrid, &Registry});
     DistanceStats Vt = vertexTransitiveStats(G);
-    double NodesPerSec = MsbfsMs > 0.0 ? Net.numNodes() / (MsbfsMs / 1e3) : 0;
+    double NodesPerSec =
+        HybridMs > 0.0 ? Net.numNodes() / (HybridMs / 1e3) : 0;
 
-    bool Agree = Scalar.Connected && MsBfs.Connected &&
-                 Scalar.Diameter == MsBfs.Diameter &&
-                 bitEqualDouble(Scalar.AverageDistance, MsBfs.AverageDistance);
-    bool VtAgree = Vt.Diameter == MsBfs.Diameter;
-    bool Faster = MsbfsMs <= ScalarMs;
-    std::printf("star(%u): scalar %8.2f ms | msbfs %8.2f ms (%.1fx, %.0f "
-                "sources/s) | diam %u avg %.6f %s%s%s\n",
-                K, ScalarMs, MsbfsMs, ScalarMs / MsbfsMs, NodesPerSec,
-                MsBfs.Diameter, MsBfs.AverageDistance,
+    bool Agree = Scalar.Connected && Push.Connected && Hybrid.Connected &&
+                 Scalar.Diameter == Push.Diameter &&
+                 Push.Diameter == Hybrid.Diameter &&
+                 bitEqualDouble(Scalar.AverageDistance, Push.AverageDistance) &&
+                 bitEqualDouble(Push.AverageDistance, Hybrid.AverageDistance);
+    bool VtAgree = Vt.Diameter == Hybrid.Diameter;
+    // The hybrid >= push ordering is only asserted once the sweep is big
+    // enough to dominate the hybrid's fixed transpose/worklist setup. On
+    // star(6) the whole workload is ~0.4 ms, the setup is a third of it,
+    // and the ordering genuinely inverts (hybrid ~0.8x push on portable
+    // builds) -- star(6) stays in the gate for the engine-agreement, VT,
+    // and pull-work checks only. At star(7), the dense-diameter instance
+    // the gate exists for, the margin is ISA-dependent: the pull pass
+    // leans on POPCNT/wide OR-reduce, so tuned (-march=native) builds see
+    // a stable ~1.5x hybrid win and assert the ordering strictly, while
+    // portable baseline-ISA builds see hybrid ~= push (0.9-1.1x run to
+    // run) and assert a deterministic 1.25x regression bound instead of a
+    // coin-flip strict comparison.
+#ifdef SCG_NATIVE_BUILD
+    const double HybridBudgetMs = PushMs;
+#else
+    const double HybridBudgetMs = 1.25 * PushMs;
+#endif
+    bool Faster = PushMs <= ScalarMs && (K < 7 || HybridMs <= HybridBudgetMs);
+    bool Pulled = counterValue(Registry, "distance.pull_levels") > 0 &&
+                  counterValue(Registry, "distance.direction_switches") > 0;
+    std::printf("star(%u): scalar %8.2f ms | push %8.2f ms | hybrid %8.2f ms "
+                "(%.1fx vs push, %.0f sources/s) | diam %u avg %.6f | pull "
+                "%.0f%% of words | %s%s%s%s\n",
+                K, ScalarMs, PushMs, HybridMs, PushMs / HybridMs, NodesPerSec,
+                Hybrid.Diameter, Hybrid.AverageDistance,
+                100.0 * counterValue(Registry, "distance.pull_words") /
+                    double(counterValue(Registry, "distance.pull_words") +
+                           counterValue(Registry, "distance.push_words")),
                 Agree ? "agree " : "ENGINE-MISMATCH ",
                 VtAgree ? "vt-ok " : "VT-MISMATCH ",
-                Faster ? "fast-ok" : "SLOWER-THAN-SCALAR");
-    Failures += !Agree + !VtAgree + !Faster;
+                Faster ? "fast-ok " : "SLOWER-THAN-BASELINE ",
+                Pulled ? "pull-ok" : "NEVER-PULLED");
+    Failures += !Agree + !VtAgree + !Faster + !Pulled;
   }
   return Failures ? 1 : 0;
 }
@@ -274,13 +443,42 @@ BENCHMARK(BM_AllPairsStatsStar7)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+void BM_AllPairsPushVsHybridStar7(benchmark::State &State) {
+  // Arg = engine (0 push, 1 hybrid), single thread: the algorithmic gap.
+  static Csr C = ExplicitScg(SuperCayleyGraph::star(7)).toCsr();
+  MsSweepOptions Opts;
+  Opts.Engine = State.range(0) ? MsBfsEngine::Hybrid : MsBfsEngine::Push;
+  setGlobalThreadCount(1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(msAllPairsStats(C, Opts).Diameter);
+  setGlobalThreadCount(0);
+}
+BENCHMARK(BM_AllPairsPushVsHybridStar7)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Json = false, Smoke = false;
+  bool Json = false, Smoke = false, Threads = false;
+  unsigned MaxK = 9;
   for (int I = 1; I != argc; ++I) {
     Json |= std::strcmp(argv[I], "--json") == 0;
     Smoke |= std::strcmp(argv[I], "--smoke") == 0;
+    Threads |= std::strcmp(argv[I], "--threads") == 0;
+    if (std::strcmp(argv[I], "--maxk") == 0) {
+      const char *Arg = I + 1 != argc ? argv[++I] : nullptr;
+      char *End = nullptr;
+      long V = Arg ? std::strtol(Arg, &End, 10) : 0;
+      if (!Arg || *End != '\0' || V < 6 || V > 12) {
+        std::fprintf(stderr,
+                     "error: --maxk requires an integer in [6, 12], got '%s'\n",
+                     Arg ? Arg : "(nothing)");
+        return 2;
+      }
+      MaxK = unsigned(V);
+    }
   }
   if (Smoke) {
     setGlobalThreadCount(1);
@@ -288,11 +486,15 @@ int main(int argc, char **argv) {
   }
   if (Json) {
     setGlobalThreadCount(1);
-    printJson(distanceCurve());
+    printJson(distanceCurve(MaxK));
+    return 0;
+  }
+  if (Threads) {
+    printThreadScaling();
     return 0;
   }
   printInventory();
-  printParallelScaling();
+  printThreadScaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

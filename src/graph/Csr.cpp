@@ -27,3 +27,25 @@ Csr::Csr(NodeId NumNodes, unsigned Degree, std::vector<NodeId> Flat)
   for (uint64_t Node = 0; Node <= NumNodes; ++Node)
     Offsets[Node] = Node * Degree;
 }
+
+Csr Csr::transpose() const {
+  const NodeId N = numNodes();
+  Csr T;
+  // Counting sort: in-degree histogram, prefix sums, then one scatter
+  // pass in ascending source order, so each reverse row lists its
+  // in-neighbors ascending -- a deterministic order independent of the
+  // forward row order.
+  T.Offsets.assign(uint64_t(N) + 1, 0);
+  for (NodeId To : Adjacency) {
+    assert(To < N && "neighbor id out of range");
+    ++T.Offsets[uint64_t(To) + 1];
+  }
+  for (uint64_t Node = 0; Node != N; ++Node)
+    T.Offsets[Node + 1] += T.Offsets[Node];
+  T.Adjacency.resize(Adjacency.size());
+  std::vector<uint64_t> Cursor(T.Offsets.begin(), T.Offsets.end() - 1);
+  for (NodeId From = 0; From != N; ++From)
+    for (NodeId To : neighbors(From))
+      T.Adjacency[Cursor[To]++] = From;
+  return T;
+}

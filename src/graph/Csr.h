@@ -52,7 +52,24 @@ public:
             Adjacency.data() + Offsets[Node + 1]};
   }
 
+  /// The reverse graph: T.neighbors(V) enumerates the in-neighbors of V,
+  /// in ascending source-node order (counting sort, O(V + E),
+  /// deterministic). For the undirected families the transpose equals the
+  /// original up to row order, but it is built generically so the
+  /// direction-optimizing BFS pull pass is correct on directed graphs
+  /// (rotator networks) too.
+  Csr transpose() const;
+
+  /// Raw row storage for hot engine loops that hoist the per-row
+  /// assert/span construction out of their inner loops: node V's row is
+  /// adjacencyData()[offsetsData()[V] .. offsetsData()[V + 1]). Prefer
+  /// neighbors() everywhere a traversal is not measurably hot.
+  const NodeId *adjacencyData() const { return Adjacency.data(); }
+  const uint64_t *offsetsData() const { return Offsets.data(); }
+
 private:
+  Csr() = default; ///< for transpose(), which fills the arrays itself.
+
   std::vector<uint64_t> Offsets;  ///< size numNodes() + 1, Offsets[0] == 0.
   std::vector<NodeId> Adjacency;  ///< all rows back to back.
 };

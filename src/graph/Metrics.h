@@ -12,9 +12,11 @@
 /// topologies (meshes, trees -- not vertex-transitive) and for
 /// cross-checking the transitivity shortcut in tests and benches.
 ///
-/// allPairsStats runs on the bit-parallel multi-source BFS engine
-/// (graph/MsBfs.h): 64 sources per machine word over CSR adjacency, which
-/// is what makes exact sweeps at k = 8 (40,320 nodes) routine. The scalar
+/// allPairsStats runs on the direction-optimizing bit-parallel multi-source
+/// BFS engine (graph/MsBfs.h): 512 sources per fused task over CSR
+/// adjacency, push/pull switched per level, batches spread across the
+/// ThreadPool -- which is what makes exact sweeps at k = 9 (362,880
+/// nodes) routine and k = 10 (3.6M nodes) an hours-scale run. The scalar
 /// one-BFS-per-source engine survives as scalarAllPairsStats, the
 /// reference the bit-parallel results are pinned against.
 ///
