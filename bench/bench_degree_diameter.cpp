@@ -133,18 +133,24 @@ void printTable() {
 }
 
 void printJson() {
-  std::vector<SuperCayleyGraph> Nets = fullSet();
-  std::printf("{\n");
-  for (size_t I = 0; I != Nets.size(); ++I) {
-    Row R = makeRow(Nets[I]);
-    std::printf("  \"%s\": {\"nodes\": %llu, \"degree\": %u, \"diam\": %u, "
-                "\"exact_diam\": %u, \"dl\": %u, \"avg\": %.6f, "
-                "\"exact_avg\": %.6f, \"mean_lb\": %.6f}%s\n",
-                R.Name.c_str(), (unsigned long long)R.Nodes, R.Degree,
-                R.Diameter, R.ExactDiameter, R.Dl, R.AvgDist, R.ExactAvgDist,
-                R.MeanLb, I + 1 == Nets.size() ? "" : ",");
+  JsonWriter W;
+  W.beginObject();
+  for (const SuperCayleyGraph &Net : fullSet()) {
+    Row R = makeRow(Net);
+    W.key(R.Name)
+        .beginObject()
+        .field("nodes", R.Nodes)
+        .field("degree", R.Degree)
+        .field("diam", R.Diameter)
+        .field("exact_diam", R.ExactDiameter)
+        .field("dl", R.Dl)
+        .field("avg", R.AvgDist, 6)
+        .field("exact_avg", R.ExactAvgDist, 6)
+        .field("mean_lb", R.MeanLb, 6)
+        .endObject();
   }
-  std::printf("}\n");
+  W.endObject();
+  std::fputs(W.str().c_str(), stdout);
 }
 
 int runSmoke() {

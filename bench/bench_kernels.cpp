@@ -124,13 +124,16 @@ void printTable(const std::vector<Measurement> &Ms) {
 }
 
 void printJson(const std::vector<Measurement> &Ms) {
-  std::printf("{\n");
-  for (size_t I = 0; I != Ms.size(); ++I)
-    std::printf("  \"%s\": {\"ms\": %.2f, \"check\": %llu}%s\n",
-                Ms[I].Name.c_str(), Ms[I].Ms,
-                (unsigned long long)Ms[I].Check,
-                I + 1 == Ms.size() ? "" : ",");
-  std::printf("}\n");
+  JsonWriter W;
+  W.beginObject();
+  for (const Measurement &M : Ms)
+    W.key(M.Name)
+        .beginObject()
+        .field("ms", M.Ms, 2)
+        .field("check", M.Check)
+        .endObject();
+  W.endObject();
+  std::fputs(W.str().c_str(), stdout);
 }
 
 /// Bounded sizes, invariant-checked: the perf-smoke ctest entry. Exercises

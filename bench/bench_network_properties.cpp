@@ -266,25 +266,26 @@ std::vector<Measurement> distanceCurve(unsigned MaxK) {
 }
 
 void printJson(const std::vector<Measurement> &Ms) {
-  std::printf("{\n");
-  for (size_t I = 0; I != Ms.size(); ++I) {
-    const Measurement &M = Ms[I];
-    std::printf("  \"%s\": {\"ms\": %.2f, \"check\": %llu, \"engine\": "
-                "\"%s\", \"threads\": %u, \"avg_distance\": %.17g",
-                M.Name.c_str(), M.Ms, (unsigned long long)M.Check, M.Engine,
-                M.Threads, M.AvgDistance);
+  JsonWriter W;
+  W.beginObject();
+  for (const Measurement &M : Ms) {
+    W.key(M.Name)
+        .beginObject()
+        .field("ms", M.Ms, 2)
+        .field("check", M.Check)
+        .field("engine", M.Engine)
+        .field("threads", M.Threads)
+        .field("avg_distance", M.AvgDistance);
     if (M.Counters)
-      std::printf(", \"push_words\": %llu, \"pull_words\": %llu, "
-                  "\"push_levels\": %llu, \"pull_levels\": %llu, "
-                  "\"direction_switches\": %llu",
-                  (unsigned long long)M.Counters->PushWords,
-                  (unsigned long long)M.Counters->PullWords,
-                  (unsigned long long)M.Counters->PushLevels,
-                  (unsigned long long)M.Counters->PullLevels,
-                  (unsigned long long)M.Counters->DirectionSwitches);
-    std::printf("}%s\n", I + 1 == Ms.size() ? "" : ",");
+      W.field("push_words", M.Counters->PushWords)
+          .field("pull_words", M.Counters->PullWords)
+          .field("push_levels", M.Counters->PushLevels)
+          .field("pull_levels", M.Counters->PullLevels)
+          .field("direction_switches", M.Counters->DirectionSwitches);
+    W.endObject();
   }
-  std::printf("}\n");
+  W.endObject();
+  std::fputs(W.str().c_str(), stdout);
 }
 
 /// Human-readable hybrid scaling table: the k = 8 sweep at 1/2/4/8

@@ -126,8 +126,9 @@ const char *modelName(CommModel Model) {
 }
 
 /// One instrumented run of the mixed star(5) workload under \p Model,
-/// rendered as a JSON member: result scalars plus the sampled time series.
-std::string jsonWorkload(CommModel Model, bool Last) {
+/// appended to \p W as a JSON member: result scalars plus the sampled
+/// time series.
+void jsonWorkload(JsonWriter &W, CommModel Model) {
   ExplicitScg Net(SuperCayleyGraph::star(5));
   NetworkSimulator Sim(Net, Model);
   injectMixed(Sim, Net, 150, 7);
@@ -137,31 +138,30 @@ std::string jsonWorkload(CommModel Model, bool Last) {
   Sim.addObserver(&Metrics);
   Sim.addObserver(&Checker);
   SimulationResult R = Sim.run(100000);
-  char Buf[512];
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "  \"star5_mixed_seed7_%s\": {\n"
-      "    \"steps\": %llu, \"delivered\": %llu, \"transmissions\": %llu,\n"
-      "    \"busy_link_steps\": %llu, \"max_queue_length\": %llu, "
-      "\"link_utilization\": %.6f,\n"
-      "    \"invariants\": \"%s\",\n",
-      modelName(Model), (unsigned long long)R.Steps,
-      (unsigned long long)R.Delivered, (unsigned long long)R.Transmissions,
-      (unsigned long long)R.BusyLinkSteps,
-      (unsigned long long)R.MaxQueueLength, R.LinkUtilization,
-      Checker.clean() ? "clean" : "VIOLATED");
-  std::string Out = Buf;
-  Out += "    \"metrics\": " + Registry.toJson(64) + "\n";
-  Out += Last ? "  }\n" : "  },\n";
-  return Out;
+  W.key(std::string("star5_mixed_seed7_") + modelName(Model))
+      .beginObject()
+      .field("steps", R.Steps)
+      .field("delivered", R.Delivered)
+      .field("transmissions", R.Transmissions)
+      .field("busy_link_steps", R.BusyLinkSteps)
+      .field("max_queue_length", R.MaxQueueLength)
+      .field("link_utilization", R.LinkUtilization, 6)
+      .field("invariants", Checker.clean() ? "clean" : "VIOLATED")
+      .key("metrics")
+      .rawValue(Registry.toJson(64))
+      .endObject();
 }
 
 /// The full --json report; deterministic (fixed seeds, no wall times), so
 /// the committed BENCH_simulator.json can be diffed byte-for-byte.
 std::string jsonReport() {
-  return "{\n" + jsonWorkload(CommModel::AllPort, false) +
-         jsonWorkload(CommModel::SinglePort, false) +
-         jsonWorkload(CommModel::SingleDimension, true) + "}\n";
+  JsonWriter W;
+  W.beginObject();
+  for (CommModel Model : {CommModel::AllPort, CommModel::SinglePort,
+                          CommModel::SingleDimension})
+    jsonWorkload(W, Model);
+  W.endObject();
+  return W.str();
 }
 
 using Clock = std::chrono::steady_clock;

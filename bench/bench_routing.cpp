@@ -144,8 +144,8 @@ void printPermutationJson() {
     const char *Name;
     TrafficPattern Pattern;
   };
-  std::printf("{\n");
-  bool FirstNet = true;
+  JsonWriter W;
+  W.beginObject();
   for (auto Scg : {SuperCayleyGraph::star(6),
                    SuperCayleyGraph::create(NetworkKind::MacroStar, 2, 2),
                    SuperCayleyGraph::insertionSelection(5)}) {
@@ -160,20 +160,20 @@ void printPermutationJson() {
       ModelInvariantChecker Checker;
       PermutationRoutingResult R = simulatePermutationRouting(
           Net, Cases[I].Pattern, CommModel::AllPort, {&Metrics, &Checker});
-      std::printf("%s  \"%s/%s\": {\n", FirstNet && I == 0 ? "" : ",\n",
-                  Scg.name().c_str(), Cases[I].Name);
-      std::printf("    \"steps\": %llu, \"lower_bound\": %llu, "
-                  "\"ratio\": %.4f, \"max_link_load\": %llu,\n",
-                  (unsigned long long)R.Steps,
-                  (unsigned long long)R.LowerBound, R.Ratio,
-                  (unsigned long long)R.MaxLinkLoad);
-      std::printf("    \"invariants\": \"%s\",\n",
-                  Checker.clean() ? "clean" : "VIOLATED");
-      std::printf("    \"metrics\": %s\n  }", Registry.toJson(64).c_str());
+      W.key(Scg.name() + "/" + Cases[I].Name)
+          .beginObject()
+          .field("steps", R.Steps)
+          .field("lower_bound", R.LowerBound)
+          .field("ratio", R.Ratio, 4)
+          .field("max_link_load", R.MaxLinkLoad)
+          .field("invariants", Checker.clean() ? "clean" : "VIOLATED")
+          .key("metrics")
+          .rawValue(Registry.toJson(64))
+          .endObject();
     }
-    FirstNet = false;
   }
-  std::printf("\n}\n");
+  W.endObject();
+  std::fputs(W.str().c_str(), stdout);
 }
 
 void BM_LiftedRoute(benchmark::State &State) {

@@ -130,35 +130,33 @@ CurvePoint runPoint(const ExplicitScg &Net, const CurveSpec &Spec,
 /// Deterministic (fixed seeds, no wall times): the committed
 /// BENCH_traffic.json can be diffed byte-for-byte.
 std::string jsonReport() {
-  std::string Out = "{\n  \"curves\": [\n";
-  std::vector<CurveSpec> Specs = curveSpecs();
-  for (size_t S = 0; S != Specs.size(); ++S) {
-    const CurveSpec &Spec = Specs[S];
+  JsonWriter W;
+  W.beginObject().key("curves").beginArray();
+  for (const CurveSpec &Spec : curveSpecs()) {
     ExplicitScg Net(Spec.Family);
-    char Buf[256];
-    std::snprintf(Buf, sizeof(Buf),
-                  "    {\"family\": \"%s\", \"model\": \"%s\", \"nodes\": "
-                  "%u, \"steps\": %llu, \"points\": [\n",
-                  Spec.Family.name().c_str(), modelName(Spec.Model),
-                  Net.numNodes(), (unsigned long long)Spec.Steps);
-    Out += Buf;
-    for (size_t I = 0; I != Spec.Rates.size(); ++I) {
-      CurvePoint P = runPoint(Net, Spec, Spec.Rates[I]);
-      std::snprintf(
-          Buf, sizeof(Buf),
-          "      {\"offered\": %.6f, \"delivered\": %.6f, "
-          "\"mean_latency\": %.4f, \"p50\": %llu, \"p99\": %llu, "
-          "\"mean_queued\": %.4f, \"work_ratio\": %.2f}%s\n",
-          P.R.OfferedRate, P.R.DeliveredRate, P.R.MeanLatency,
-          (unsigned long long)P.R.P50Latency,
-          (unsigned long long)P.R.P99Latency, P.R.MeanQueued, P.WorkRatio,
-          I + 1 == Spec.Rates.size() ? "" : ",");
-      Out += Buf;
+    W.beginObject()
+        .field("family", Spec.Family.name())
+        .field("model", modelName(Spec.Model))
+        .field("nodes", Net.numNodes())
+        .field("steps", Spec.Steps)
+        .key("points")
+        .beginArray();
+    for (double Rate : Spec.Rates) {
+      CurvePoint P = runPoint(Net, Spec, Rate);
+      W.beginObject()
+          .field("offered", P.R.OfferedRate, 6)
+          .field("delivered", P.R.DeliveredRate, 6)
+          .field("mean_latency", P.R.MeanLatency, 4)
+          .field("p50", P.R.P50Latency)
+          .field("p99", P.R.P99Latency)
+          .field("mean_queued", P.R.MeanQueued, 4)
+          .field("work_ratio", P.WorkRatio, 2)
+          .endObject();
     }
-    Out += S + 1 == Specs.size() ? "    ]}\n" : "    ]},\n";
+    W.endArray().endObject();
   }
-  Out += "  ]\n}\n";
-  return Out;
+  W.endArray().endObject();
+  return W.str();
 }
 
 //===----------------------------------------------------------------------===//

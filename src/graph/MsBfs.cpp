@@ -82,6 +82,18 @@ scg::msBfsDistancesHybrid(const Csr &G, const Csr &GT,
   return Rows;
 }
 
+std::vector<uint8_t> scg::msBfsDistanceRow(const Csr &G, NodeId Source) {
+  std::vector<uint8_t> Row(G.numNodes(), MsBfsUnreachableByte);
+  NodeId Sources[1] = {Source};
+  msBfsCore(G, Sources,
+            [&Row](NodeId Node, uint64_t /*NewMask*/, uint32_t Level) {
+              assert(Level < MsBfsUnreachableByte &&
+                     "distance does not fit a table byte");
+              Row[Node] = uint8_t(Level);
+            });
+  return Row;
+}
+
 namespace {
 
 /// Order-independent batch partial (AND / max / exact sums), identical in

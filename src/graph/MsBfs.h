@@ -604,6 +604,18 @@ std::vector<std::vector<uint32_t>>
 msBfsDistancesHybrid(const Csr &G, const Csr &GT,
                      std::span<const NodeId> Sources);
 
+/// Sentinel byte for "no path" in compact one-byte distance rows.
+constexpr uint8_t MsBfsUnreachableByte = 0xFF;
+
+/// Compact single-source distance row: entry v is d(\p Source, v) as one
+/// byte, MsBfsUnreachableByte where no path exists. Asserts every finite
+/// distance stays below the sentinel (SCG diameters at enumerable k are
+/// two digits). This is the export the query layer's TableStore
+/// serializes -- one byte per node keeps a k = 10 table at 3.6 MB, and
+/// a row is all a vertex-transitive network needs for exact all-pairs
+/// service (d(U, V) = d(id, U^-1 o V)).
+std::vector<uint8_t> msBfsDistanceRow(const Csr &G, NodeId Source);
+
 /// Sweep configuration for msAllPairsStats.
 struct MsSweepOptions {
   /// Engine selection; Hybrid is the production default, Push the

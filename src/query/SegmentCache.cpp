@@ -1,0 +1,108 @@
+//===- query/SegmentCache.cpp - Sharded LRU route-segment cache ----------===//
+
+#include "query/SegmentCache.h"
+
+#include "support/Metrics.h"
+
+#include <bit>
+
+using namespace scg;
+
+SegmentCache::SegmentCache(size_t Capacity, unsigned NumShards) {
+  unsigned Count = std::bit_ceil(std::max(1u, NumShards));
+  TotalCapacity = Capacity;
+  PerShardCapacity = std::max<size_t>(1, (Capacity + Count - 1) / Count);
+  ShardMask = Count - 1;
+  Shards.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+bool SegmentCache::lookup(const Permutation &Rel, std::vector<GenIndex> &Hops) {
+  if (!enabled())
+    return false;
+  Key K = keyOf(Rel);
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(K);
+  if (It == S.Map.end()) {
+    ++S.Stats.Misses;
+    return false;
+  }
+  ++S.Stats.Hits;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second); // refresh to front.
+  Hops = It->second->Hops;
+  return true;
+}
+
+void SegmentCache::insert(const Permutation &Rel,
+                          const std::vector<GenIndex> &Hops) {
+  if (!enabled())
+    return;
+  Key K = keyOf(Rel);
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(K);
+  if (It != S.Map.end()) {
+    // Another thread won the race to compute this key; values are pure
+    // functions of the key, so just refresh recency.
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return;
+  }
+  if (S.Map.size() >= PerShardCapacity) {
+    S.Map.erase(S.Lru.back().K);
+    S.Lru.pop_back();
+    ++S.Stats.Evictions;
+  }
+  S.Lru.push_front(Entry{K, Hops});
+  S.Map.emplace(K, S.Lru.begin());
+  ++S.Stats.Insertions;
+}
+
+size_t SegmentCache::size() const {
+  size_t Total = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    Total += S->Map.size();
+  }
+  return Total;
+}
+
+SegmentCacheStats SegmentCache::totals() const {
+  SegmentCacheStats Total;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    Total.Hits += S->Stats.Hits;
+    Total.Misses += S->Stats.Misses;
+    Total.Insertions += S->Stats.Insertions;
+    Total.Evictions += S->Stats.Evictions;
+  }
+  return Total;
+}
+
+SegmentCacheStats SegmentCache::shardStats(unsigned Shard) const {
+  assert(Shard < Shards.size() && "shard index out of range");
+  std::lock_guard<std::mutex> Lock(Shards[Shard]->Mu);
+  return Shards[Shard]->Stats;
+}
+
+void SegmentCache::publish(MetricsRegistry &M) const {
+  SegmentCacheStats Total = totals();
+  M.counter("query.cache.hits").set(double(Total.Hits));
+  M.counter("query.cache.misses").set(double(Total.Misses));
+  M.counter("query.cache.insertions").set(double(Total.Insertions));
+  M.counter("query.cache.evictions").set(double(Total.Evictions));
+  M.counter("query.cache.entries").set(double(size()));
+  M.gauge("query.cache.hit_rate").set(Total.hitRate());
+  for (unsigned I = 0; I != Shards.size(); ++I)
+    M.gauge("query.cache.shard" + std::to_string(I) + ".hit_rate")
+        .set(shardStats(I).hitRate());
+}
+
+void SegmentCache::clear() {
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    S->Map.clear();
+    S->Lru.clear();
+  }
+}

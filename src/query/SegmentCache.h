@@ -1,0 +1,134 @@
+//===- query/SegmentCache.h - Sharded LRU route-segment cache --*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded LRU memo cache for computed route segments, keyed by the
+/// relative permutation Src^-1 o Dst (Cayley symmetry makes the route a
+/// pure function of that relative label, so one cached segment serves
+/// every source/destination pair with the same offset -- hot traffic
+/// patterns like transpose or hotspot workloads collapse onto a handful
+/// of keys). Keys are the label's two zero-padded inline words, unique
+/// for the fixed k <= 16 an engine serves.
+///
+/// Shards are independent LRU maps behind their own mutexes, selected by
+/// key hash, so concurrent batch serving contends only 1/shards of the
+/// time. Because a cached value is a pure function of its key, cache
+/// state can never change an answer -- only latency -- which is what
+/// keeps batched parallel serving byte-identical to serial. Each shard
+/// counts hits / misses / insertions / evictions; per-shard and aggregate
+/// hit rates flow into MetricsRegistry as `query.cache.*`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_QUERY_SEGMENTCACHE_H
+#define SCG_QUERY_SEGMENTCACHE_H
+
+#include "core/GeneratorSet.h"
+#include "perm/Permutation.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace scg {
+
+class MetricsRegistry;
+
+/// Aggregated (or per-shard) cache telemetry.
+struct SegmentCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+
+  /// Hits / lookups, 0 when no lookups happened.
+  double hitRate() const {
+    uint64_t Lookups = Hits + Misses;
+    return Lookups ? double(Hits) / double(Lookups) : 0.0;
+  }
+};
+
+/// Sharded LRU cache: relative permutation -> generator-index route.
+class SegmentCache {
+public:
+  /// \p Capacity total entries spread across \p Shards shards (shard count
+  /// rounded up to a power of two; capacity at least one per shard).
+  /// Capacity 0 disables the cache: lookups miss, inserts drop.
+  SegmentCache(size_t Capacity, unsigned Shards);
+
+  /// Copies the cached route for \p Rel into \p Hops and returns true, or
+  /// returns false (counting a miss). A hit refreshes LRU position.
+  bool lookup(const Permutation &Rel, std::vector<GenIndex> &Hops);
+
+  /// Inserts (or refreshes) the route for \p Rel, evicting the shard's
+  /// least-recently-used entry when full.
+  void insert(const Permutation &Rel, const std::vector<GenIndex> &Hops);
+
+  unsigned numShards() const { return unsigned(Shards.size()); }
+  size_t capacity() const { return TotalCapacity; }
+  bool enabled() const { return TotalCapacity != 0; }
+
+  /// Entries currently cached (sums shard sizes; takes every shard lock).
+  size_t size() const;
+
+  SegmentCacheStats totals() const;
+  SegmentCacheStats shardStats(unsigned Shard) const;
+
+  /// Publishes `query.cache.{hits,misses,insertions,evictions,entries}`
+  /// counters, a `query.cache.hit_rate` gauge, and per-shard
+  /// `query.cache.shard<i>.hit_rate` gauges into \p M.
+  void publish(MetricsRegistry &M) const;
+
+  /// Drops every entry (stats are kept).
+  void clear();
+
+private:
+  struct Key {
+    uint64_t Lo, Hi;
+    bool operator==(const Key &) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t H = K.Lo * 0x9e3779b97f4a7c15ULL;
+      H ^= K.Hi + 0xbf58476d1ce4e5b9ULL + (H << 6) + (H >> 2);
+      H ^= H >> 29;
+      H *= 0x94d049bb133111ebULL;
+      return size_t(H ^ (H >> 32));
+    }
+  };
+  struct Entry {
+    Key K;
+    std::vector<GenIndex> Hops;
+  };
+  struct Shard {
+    mutable std::mutex Mu;
+    std::list<Entry> Lru; ///< front = most recently used.
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> Map;
+    SegmentCacheStats Stats;
+  };
+
+  static Key keyOf(const Permutation &Rel) {
+    assert(Rel.isInline() && "cache keys require inline labels (k <= 16)");
+    return {Rel.loWord(), Rel.hiWord()};
+  }
+  Shard &shardFor(const Key &K) {
+    // Bits 32.. select the shard; the map's bucket index uses the low
+    // bits, so the two stay independent.
+    return *Shards[(KeyHash{}(K) >> 32) & ShardMask];
+  }
+
+  size_t TotalCapacity;
+  size_t PerShardCapacity;
+  size_t ShardMask; ///< shard count - 1 (power of two).
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace scg
+
+#endif // SCG_QUERY_SEGMENTCACHE_H

@@ -1,0 +1,118 @@
+//===- query/TableStore.h - mmap-able exact distance tables ----*- C++ -*-===//
+//
+// Part of the super-cayley-graphs project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialized exact distance tables for the query layer. A table holds the
+/// single-source distance row from the identity node, one byte per Lehmer
+/// rank: by vertex transitivity d(U, V) = d(id, U^-1 o V), so this one row
+/// answers every exact distance query -- and, by greedy descent, every
+/// exact shortest-route query -- for the whole k!-node network. At k = 10
+/// that is a 3.6 MB file standing in for a graph of 3.6M nodes.
+///
+/// The on-disk format is a fixed little-endian header (magic, version, an
+/// endianness probe, the network descriptor, node count, FNV-1a payload
+/// checksum) followed by the raw byte row. Files are loaded read-only via
+/// mmap, so any number of serving processes share one physical copy of the
+/// table; a build-side writer process and a serving reader never need to
+/// be the same binary. The loader validates everything before the first
+/// query: wrong magic, foreign endianness, version skew, size mismatch
+/// (truncation), and checksum failure (bit rot) all raise TableStoreError
+/// with a message naming the failed check -- never undefined behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCG_QUERY_TABLESTORE_H
+#define SCG_QUERY_TABLESTORE_H
+
+#include "core/SuperCayleyGraph.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scg {
+
+/// Raised by TableStore::load / save on any I/O or validation failure.
+class TableStoreError : public std::runtime_error {
+public:
+  explicit TableStoreError(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// Distance value byte marking "no path" in a table row (matches
+/// MsBfsUnreachableByte; redeclared here so the file format is
+/// self-contained).
+constexpr uint8_t TableUnreachable = 0xFF;
+
+/// An exact distance table for one network descriptor, either built
+/// in-process or mmap-ed read-only from a serialized file. Movable, not
+/// copyable (a loaded instance owns an mmap region).
+class TableStore {
+public:
+  /// Builds the table for \p Net in memory via the MS-BFS engine
+  /// (identity-row sweep over the ExplicitScg CSR). Enumerates k! nodes:
+  /// same k <= 10 limit as ExplicitScg.
+  static TableStore build(const SuperCayleyGraph &Net);
+
+  /// Wraps an externally computed distance row (e.g. one produced over a
+  /// faulted graph) for \p Net. \p Row must have Net.numNodes() entries.
+  static TableStore fromRow(const SuperCayleyGraph &Net,
+                            std::vector<uint8_t> Row);
+
+  /// Loads \p Path read-only via mmap, validating the header and payload
+  /// checksum. Throws TableStoreError naming the failed check.
+  static TableStore load(const std::string &Path);
+
+  /// Serializes this table to \p Path (header + row + checksum).
+  /// Throws TableStoreError on I/O failure.
+  void save(const std::string &Path) const;
+
+  TableStore(TableStore &&Rhs) noexcept { moveFrom(Rhs); }
+  TableStore &operator=(TableStore &&Rhs) noexcept;
+  TableStore(const TableStore &) = delete;
+  TableStore &operator=(const TableStore &) = delete;
+  ~TableStore();
+
+  /// The network kind / parameters the table was built for.
+  NetworkKind kind() const { return Kind; }
+  unsigned numBoxes() const { return L; }
+  unsigned ballsPerBox() const { return N; }
+  unsigned numSymbols() const { return K; }
+  uint64_t numNodes() const { return Count; }
+
+  /// True when this table answers for \p Net (same kind and parameters).
+  bool covers(const SuperCayleyGraph &Net) const {
+    return Net.kind() == Kind && Net.numBoxes() == L &&
+           Net.ballsPerBox() == N && Net.numSymbols() == K;
+  }
+
+  /// d(id, unrank(Rank)) as a byte; TableUnreachable when no path.
+  uint8_t distanceByRank(uint64_t Rank) const {
+    assert(Rank < Count && "rank out of table range");
+    return Row[Rank];
+  }
+
+  /// Whether this instance serves from an mmap-ed file (vs in-memory).
+  bool isMapped() const { return Mapped != nullptr; }
+
+private:
+  TableStore() = default;
+  void moveFrom(TableStore &Rhs) noexcept;
+  void unmap() noexcept;
+
+  NetworkKind Kind = NetworkKind::Star;
+  unsigned L = 0, N = 0, K = 0;
+  uint64_t Count = 0;
+  const uint8_t *Row = nullptr; ///< the distance row (Count bytes).
+  std::vector<uint8_t> Owned;   ///< backing store when built in memory.
+  void *Mapped = nullptr;       ///< mmap base when loaded from a file.
+  size_t MappedSize = 0;
+};
+
+} // namespace scg
+
+#endif // SCG_QUERY_TABLESTORE_H

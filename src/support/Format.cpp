@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 using namespace scg;
@@ -24,6 +26,189 @@ std::string scg::formatDouble(double Value, unsigned Digits) {
   std::ostringstream OS;
   OS << std::fixed << std::setprecision(Digits) << Value;
   return OS.str();
+}
+
+std::string scg::jsonEscaped(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += char(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::beginValue(bool Container) {
+  if (Stack.empty()) {
+    assert(Out.empty() && "a JSON document has exactly one root value");
+    (void)Container;
+    return;
+  }
+  if (Container)
+    HasContainers.back() = true;
+  if (Stack.back() == Scope::Object) {
+    assert(KeyPending && "object values need a key() first");
+    KeyPending = false;
+    return;
+  }
+  // Array element: scalars pack onto one line, containers get their own.
+  if (HasElems.back())
+    Out += Container ? "," : ", ";
+  HasElems.back() = true;
+  if (Container) {
+    Out += '\n';
+    indent();
+  }
+}
+
+void JsonWriter::indent() { Out.append(2 * Stack.size(), ' '); }
+
+JsonWriter &JsonWriter::beginObject() {
+  beginValue(/*Container=*/true);
+  Out += '{';
+  Stack.push_back(Scope::Object);
+  HasElems.push_back(false);
+  HasContainers.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == Scope::Object && !KeyPending &&
+         "mismatched endObject");
+  bool Empty = !HasElems.back();
+  Stack.pop_back();
+  HasElems.pop_back();
+  HasContainers.pop_back();
+  if (!Empty) {
+    Out += '\n';
+    indent();
+  }
+  Out += '}';
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beginValue(/*Container=*/true);
+  Out += '[';
+  Stack.push_back(Scope::Array);
+  HasElems.push_back(false);
+  HasContainers.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == Scope::Array &&
+         "mismatched endArray");
+  bool Nested = HasContainers.back();
+  Stack.pop_back();
+  HasElems.pop_back();
+  HasContainers.pop_back();
+  if (Nested) {
+    // Container elements were laid out on their own lines; close the
+    // bracket on its own line too, like objects do.
+    Out += '\n';
+    indent();
+  }
+  Out += ']';
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back() == Scope::Object && !KeyPending &&
+         "key() is only valid inside an object");
+  Out += HasElems.back() ? ",\n" : "\n";
+  HasElems.back() = true;
+  indent();
+  Out += '"';
+  Out += jsonEscaped(K);
+  Out += "\": ";
+  KeyPending = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view V) {
+  beginValue(/*Container=*/false);
+  Out += '"';
+  Out += jsonEscaped(V);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  beginValue(/*Container=*/false);
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  beginValue(/*Container=*/false);
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  beginValue(/*Container=*/false);
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  beginValue(/*Container=*/false);
+  if (std::isfinite(V) && V == std::floor(V) &&
+      std::abs(V) < 9.007199254740992e15) {
+    Out += std::to_string(int64_t(V));
+  } else {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+    Out += Buf;
+  }
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V, unsigned Digits) {
+  beginValue(/*Container=*/false);
+  Out += formatDouble(V, Digits);
+  return *this;
+}
+
+JsonWriter &JsonWriter::rawValue(std::string_view Json) {
+  beginValue(/*Container=*/false);
+  Out += Json;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  assert(Stack.empty() && "unclosed JSON container");
+  return Out + "\n";
 }
 
 void TextTable::setHeader(std::vector<std::string> Cells) {

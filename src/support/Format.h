@@ -6,8 +6,10 @@
 ///
 /// \file
 /// Tiny string-building helpers shared across the library: joining ranges,
-/// padding cells for ASCII tables, and a fixed-width table printer used by
-/// the benchmark harnesses to emit the paper's tables.
+/// padding cells for ASCII tables, a fixed-width table printer used by
+/// the benchmark harnesses to emit the paper's tables, and the JSON writer
+/// every bench's --json mode renders through (one escaping and number
+/// formatting policy instead of a hand-rolled printf per bench).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +19,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace scg {
@@ -62,6 +65,80 @@ public:
 private:
   std::vector<std::string> Header;
   std::vector<std::vector<std::string>> Rows;
+};
+
+/// Escapes \p S for use inside a JSON string literal: quotes, backslashes,
+/// and control characters become their escape sequences (\uXXXX for the
+/// controls without a short form). Everything else passes through.
+std::string jsonEscaped(std::string_view S);
+
+/// A small streaming JSON emitter with one shared formatting policy:
+/// strings always escaped, integers exact, doubles either fixed-digit
+/// (value(V, Digits)) or canonical round-trip %.17g (value(V)) -- the
+/// divergent per-bench printf formats this replaces disagreed on all
+/// three. Output is pretty-printed deterministically: every object key on
+/// its own line at two-space indentation, scalar array elements inline,
+/// container elements on their own lines.
+///
+/// Usage is push-style and order-checked only by assertions (a key must
+/// be pending exactly when an object value is next):
+///   JsonWriter W;
+///   W.beginObject().key("ms").value(12.5, 2).key("check").value(7u);
+///   W.endObject();
+///   puts(W.str().c_str());
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits the key for the next value; only valid inside an object.
+  JsonWriter &key(std::string_view K);
+
+  JsonWriter &value(std::string_view V);
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(bool V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(unsigned V) { return value(uint64_t(V)); }
+  JsonWriter &value(int V) { return value(int64_t(V)); }
+  /// Canonical double: integral values render without a fraction, others
+  /// with round-trip precision (%.17g).
+  JsonWriter &value(double V);
+  /// Fixed-point double with \p Digits fractional digits.
+  JsonWriter &value(double V, unsigned Digits);
+
+  /// key(K) + value(V) in one call.
+  template <typename T> JsonWriter &field(std::string_view K, T V) {
+    key(K);
+    return value(V);
+  }
+  JsonWriter &field(std::string_view K, double V, unsigned Digits) {
+    key(K);
+    return value(V, Digits);
+  }
+
+  /// Splices \p Json -- already-rendered JSON (e.g. MetricsRegistry::
+  /// toJson()) -- as the next value, verbatim.
+  JsonWriter &rawValue(std::string_view Json);
+
+  /// Finishes and returns the document (asserts every container closed);
+  /// ends with a newline.
+  std::string str() const;
+
+private:
+  enum class Scope : uint8_t { Object, Array };
+  void beginValue(bool Container);
+  void indent();
+
+  std::string Out;
+  std::vector<Scope> Stack;
+  std::vector<bool> HasElems; ///< parallel to Stack: emitted an element yet?
+  /// Parallel to Stack: did this container hold a nested container? Such
+  /// arrays close their bracket on its own line like objects do.
+  std::vector<bool> HasContainers;
+  bool KeyPending = false;
 };
 
 /// SplitMix64: tiny deterministic RNG used by randomized property tests and

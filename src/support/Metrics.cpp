@@ -59,9 +59,13 @@ MetricSummary MetricsRegistry::summarize(const Metric &M) {
 namespace {
 
 /// JSON number rendering: counters (and any integral value) print without a
-/// fractional part so exports diff cleanly.
+/// fractional part so exports diff cleanly. Values outside the exactly-
+/// representable int64 range (a counter pushed past 2^53 loses integer
+/// precision anyway; past 2^63 the cast would be undefined) render through
+/// the round-trip double path instead.
 std::string jsonNumber(double V, bool Integral) {
-  if (Integral || V == std::floor(V))
+  if ((Integral || V == std::floor(V)) &&
+      std::abs(V) < 9.007199254740992e15)
     return std::to_string(int64_t(V));
   return formatDouble(V, 4);
 }
@@ -77,7 +81,7 @@ std::string MetricsRegistry::toJson(size_t MaxSeriesPoints) const {
       OS << ",";
     FirstMetric = false;
     bool Int = M.isCounter();
-    OS << "\n  \"" << Name << "\": {\"kind\": \""
+    OS << "\n  \"" << jsonEscaped(Name) << "\": {\"kind\": \""
        << (M.isCounter() ? "counter" : "gauge")
        << "\", \"value\": " << jsonNumber(M.value(), Int);
     MetricSummary S = summarize(M);
