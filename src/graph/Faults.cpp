@@ -46,12 +46,53 @@ FaultAnalysis scg::analyzeUnderFaults(const Graph &G,
     for (size_t Lane = 0; Lane != Count; ++Lane) {
       if (Batch.NumReached[Lane] != Analysis.HealthyNodes) {
         Analysis.Connected = false;
+        // Earlier lanes may have accumulated a nonzero maximum; the field
+        // is meaningless for a disconnected survivor, so zero it rather
+        // than leak a partial measurement.
+        Analysis.Diameter = 0;
         return Analysis;
       }
       Analysis.Diameter =
           std::max(Analysis.Diameter, Batch.Eccentricity[Lane]);
     }
   }
+  return Analysis;
+}
+
+ReachabilityAnalysis
+scg::analyzeReachabilityUnderFaults(const Graph &G, const FaultSet &Faults) {
+  ReachabilityAnalysis Analysis;
+  std::vector<NodeId> Healthy;
+  Healthy.reserve(G.numNodes());
+  for (NodeId Node = 0; Node != G.numNodes(); ++Node)
+    if (!Faults.nodeFailed(Node))
+      Healthy.push_back(Node);
+  Analysis.HealthyNodes = Healthy.size();
+  if (Healthy.empty())
+    return Analysis;
+
+  // Same batching as analyzeUnderFaults, but every lane is consumed: a
+  // disconnected scenario contributes its partial reachability instead of
+  // aborting the sweep. NumReached counts the source itself, so each lane
+  // adds NumReached - 1 ordered pairs; failed nodes are linkless and are
+  // never reached.
+  Csr Surviving(applyFaults(G, Faults));
+  Analysis.Connected = true;
+  uint32_t MaxEccentricity = 0;
+  for (size_t Begin = 0; Begin < Healthy.size(); Begin += MsBfsLanes) {
+    size_t Count = std::min<size_t>(MsBfsLanes, Healthy.size() - Begin);
+    MsBfsBatch Batch =
+        msBfs(Surviving, std::span(Healthy).subspan(Begin, Count));
+    for (size_t Lane = 0; Lane != Count; ++Lane) {
+      Analysis.ReachableOrderedPairs += Batch.NumReached[Lane] - 1;
+      if (Batch.NumReached[Lane] != Analysis.HealthyNodes)
+        Analysis.Connected = false;
+      MaxEccentricity = std::max(MaxEccentricity, Batch.Eccentricity[Lane]);
+    }
+  }
+  // Same contract as FaultAnalysis: the diameter is a measurement only
+  // when the survivors are mutually connected.
+  Analysis.Diameter = Analysis.Connected ? MaxEccentricity : 0;
   return Analysis;
 }
 
@@ -115,7 +156,9 @@ SingleFaultSweep scg::sweepSingleLinkFaults(const Graph &G,
         Faults.failLink(Links[I].first, Links[I].second);
         return Faults;
       });
-  Sweep.AlwaysConnected = Outcome.AlwaysConnected;
+  // The reduction identity is AlwaysConnected = true, so an empty scenario
+  // list (edgeless graph) would otherwise certify robustness vacuously.
+  Sweep.AlwaysConnected = !Links.empty() && Outcome.AlwaysConnected;
   Sweep.WorstDiameter = Outcome.WorstDiameter;
   Sweep.ScenariosTried = Links.size();
   return Sweep;
@@ -137,7 +180,8 @@ SingleFaultSweep scg::sweepSingleNodeFaults(const Graph &G,
         Faults.failNode(Nodes[I]);
         return Faults;
       });
-  Sweep.AlwaysConnected = Outcome.AlwaysConnected;
+  // Zero scenarios (empty graph) must not read as always-connected.
+  Sweep.AlwaysConnected = !Nodes.empty() && Outcome.AlwaysConnected;
   Sweep.WorstDiameter = Outcome.WorstDiameter;
   Sweep.ScenariosTried = Nodes.size();
   return Sweep;

@@ -73,13 +73,34 @@ public:
     return std::binary_search(Nodes.begin(), Nodes.end(), Node);
   }
 
-  /// Distinct failed nodes / directed links (duplicates collapse, matching
-  /// the historical std::set semantics).
+  /// Distinct failed nodes (duplicates collapse, matching the historical
+  /// std::set semantics).
   size_t numFailedNodes() const {
     ensureNodesSorted();
     return Nodes.size();
   }
+
+  /// Distinct failed *undirected* links: the number of unordered pairs
+  /// {A, B} with at least one failed direction, so one failLink(A, B)
+  /// counts as exactly one fault. (An old version returned the directed
+  /// entry count, silently doubling every undirected fault; callers that
+  /// really want directed entries use numFailedDirectedLinks().) Does not
+  /// count links implied by node faults.
   size_t numFailedLinks() const {
+    ensureLinksSorted();
+    size_t Count = 0;
+    for (const auto &[From, To] : Links)
+      // Count each unordered pair once: at its From < To entry, or at the
+      // From > To entry when the mirror direction is absent.
+      if (From < To ||
+          !std::binary_search(Links.begin(), Links.end(),
+                              std::pair<NodeId, NodeId>{To, From}))
+        ++Count;
+    return Count;
+  }
+
+  /// Distinct failed directed links (both directions of a failLink count).
+  size_t numFailedDirectedLinks() const {
     ensureLinksSorted();
     return Links.size();
   }
@@ -121,10 +142,32 @@ struct FaultAnalysis {
 
 /// Analyzes \p G under \p Faults: healthy sources are batched 64 at a time
 /// through the bit-parallel multi-source BFS (graph/MsBfs.h), with an
-/// early exit on the first disconnected source.
+/// early exit on the first disconnected source. Disconnected results carry
+/// Diameter == 0 (never a partial accumulation).
 FaultAnalysis analyzeUnderFaults(const Graph &G, const FaultSet &Faults);
 
-/// Worst case over single-fault scenarios.
+/// Pairwise reachability of the surviving network -- the per-trial
+/// measurement of the Monte Carlo campaigns (routing/FaultCampaign.h).
+/// Unlike analyzeUnderFaults this never exits early: a disconnected
+/// scenario still reports how much of the network each healthy node can
+/// see, which is what reliability/reachability curves integrate.
+struct ReachabilityAnalysis {
+  uint64_t HealthyNodes = 0;
+  /// Ordered healthy pairs (S, T), S != T, with a surviving S -> T path.
+  uint64_t ReachableOrderedPairs = 0;
+  bool Connected = false; ///< every healthy ordered pair reachable.
+  uint32_t Diameter = 0;  ///< over healthy pairs; 0 when not connected.
+};
+
+/// Full (no early exit) reachability sweep of \p G under \p Faults via the
+/// bit-parallel multi-source BFS.
+ReachabilityAnalysis analyzeReachabilityUnderFaults(const Graph &G,
+                                                    const FaultSet &Faults);
+
+/// Worst case over single-fault scenarios. A sweep with zero scenarios
+/// (edgeless graph, empty graph) reports AlwaysConnected = false: "no
+/// scenario disconnected" must never read as a robustness certificate
+/// when nothing was tried (check ScenariosTried to distinguish the cases).
 struct SingleFaultSweep {
   bool AlwaysConnected = false;
   uint32_t WorstDiameter = 0;

@@ -5,6 +5,7 @@
 #include "graph/Metrics.h"
 #include "networks/Classic.h"
 #include "networks/Explicit.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -94,4 +95,125 @@ TEST(Faults, TwoFaultsCanDisconnectDegreeTwoNode) {
   Faults.failLink(0, 2);
   FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
   EXPECT_FALSE(Analysis.Connected);
+}
+
+// Regression: numFailedLinks used to return the directed entry count, so
+// one failLink (both directions) reported as two faults.
+TEST(Faults, NumFailedLinksCountsUndirectedPairs) {
+  FaultSet Faults;
+  Faults.failLink(0, 1);
+  EXPECT_EQ(Faults.numFailedLinks(), 1u);
+  EXPECT_EQ(Faults.numFailedDirectedLinks(), 2u);
+  Faults.failLink(1, 0); // duplicate of the same unordered pair.
+  EXPECT_EQ(Faults.numFailedLinks(), 1u);
+  EXPECT_EQ(Faults.numFailedDirectedLinks(), 2u);
+  // A one-direction fault is its own (single) undirected pair.
+  Faults.failDirectedLink(5, 2);
+  EXPECT_EQ(Faults.numFailedLinks(), 2u);
+  EXPECT_EQ(Faults.numFailedDirectedLinks(), 3u);
+  // Completing the mirror direction must not double-count the pair, and
+  // counting must interleave cleanly with mutation and queries.
+  EXPECT_TRUE(Faults.linkFailed(5, 2));
+  Faults.failDirectedLink(2, 5);
+  EXPECT_EQ(Faults.numFailedLinks(), 2u);
+  EXPECT_EQ(Faults.numFailedDirectedLinks(), 4u);
+  Faults.failLink(3, 4);
+  EXPECT_TRUE(Faults.linkFailed(4, 3));
+  EXPECT_EQ(Faults.numFailedLinks(), 3u);
+}
+
+// Regression: the early exit on the first disconnected source used to
+// return the diameter accumulated from earlier (connected) sources.
+TEST(Faults, DisconnectedAnalysisReportsZeroDiameter) {
+  Graph G(3);
+  G.addUndirectedEdge(0, 1);
+  G.addUndirectedEdge(1, 2);
+  FaultSet Faults;
+  // Kill only 2 -> 1: sources 0 and 1 still reach everyone (accumulating
+  // eccentricity 2) before source 2, which reaches nobody.
+  Faults.failDirectedLink(2, 1);
+  FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
+  EXPECT_FALSE(Analysis.Connected);
+  EXPECT_EQ(Analysis.Diameter, 0u);
+  ReachabilityAnalysis Reach = analyzeReachabilityUnderFaults(G, Faults);
+  EXPECT_FALSE(Reach.Connected);
+  EXPECT_EQ(Reach.Diameter, 0u);
+  // 0 and 1 see two nodes each; 2 sees nobody.
+  EXPECT_EQ(Reach.ReachableOrderedPairs, 4u);
+}
+
+// Regression: a sweep with zero scenarios used to report AlwaysConnected
+// = true -- a vacuous robustness certificate.
+TEST(Faults, ZeroScenarioSweepIsNotARobustnessCertificate) {
+  Graph Edgeless(3);
+  SingleFaultSweep Links = sweepSingleLinkFaults(Edgeless);
+  EXPECT_EQ(Links.ScenariosTried, 0u);
+  EXPECT_FALSE(Links.AlwaysConnected);
+  Graph Empty(0);
+  SingleFaultSweep Nodes = sweepSingleNodeFaults(Empty);
+  EXPECT_EQ(Nodes.ScenariosTried, 0u);
+  EXPECT_FALSE(Nodes.AlwaysConnected);
+}
+
+TEST(Faults, StridedSweepAgreesWithExhaustive) {
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  Graph G = Net.toGraph();
+  SingleFaultSweep Exhaustive = sweepSingleLinkFaults(G, /*Stride=*/1);
+  SingleFaultSweep Strided = sweepSingleLinkFaults(G, /*Stride=*/3);
+  EXPECT_EQ(Exhaustive.ScenariosTried, G.numDirectedEdges() / 2);
+  EXPECT_EQ(Strided.ScenariosTried, (Exhaustive.ScenariosTried + 2) / 3);
+  EXPECT_EQ(Exhaustive.FaultFreeDiameter, Strided.FaultFreeDiameter);
+  // star(4) survives any single link fault, so both sweeps agree exactly;
+  // in general a strided sweep sees a subset of the scenarios.
+  EXPECT_TRUE(Exhaustive.AlwaysConnected);
+  EXPECT_TRUE(Strided.AlwaysConnected);
+  EXPECT_LE(Strided.WorstDiameter, Exhaustive.WorstDiameter);
+}
+
+TEST(Faults, HubNodeFaultIsolatesLeaves) {
+  // A star *topology* (one hub): killing the hub strands every leaf.
+  Graph G(5);
+  for (NodeId Leaf = 1; Leaf != 5; ++Leaf)
+    G.addUndirectedEdge(0, Leaf);
+  FaultSet Faults;
+  Faults.failNode(0);
+  FaultAnalysis Analysis = analyzeUnderFaults(G, Faults);
+  EXPECT_EQ(Analysis.HealthyNodes, 4u);
+  EXPECT_FALSE(Analysis.Connected);
+  EXPECT_EQ(Analysis.Diameter, 0u);
+  ReachabilityAnalysis Reach = analyzeReachabilityUnderFaults(G, Faults);
+  EXPECT_EQ(Reach.ReachableOrderedPairs, 0u);
+  SingleFaultSweep Sweep = sweepSingleNodeFaults(G);
+  EXPECT_FALSE(Sweep.AlwaysConnected);
+}
+
+TEST(Faults, SweepsAreThreadCountInvariant) {
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  Graph G = Net.toGraph();
+  setGlobalThreadCount(1);
+  SingleFaultSweep SerialLinks = sweepSingleLinkFaults(G);
+  SingleFaultSweep SerialNodes = sweepSingleNodeFaults(G);
+  for (unsigned Threads : {2u, 8u}) {
+    setGlobalThreadCount(Threads);
+    SingleFaultSweep Links = sweepSingleLinkFaults(G);
+    EXPECT_EQ(Links.AlwaysConnected, SerialLinks.AlwaysConnected);
+    EXPECT_EQ(Links.WorstDiameter, SerialLinks.WorstDiameter);
+    EXPECT_EQ(Links.FaultFreeDiameter, SerialLinks.FaultFreeDiameter);
+    EXPECT_EQ(Links.ScenariosTried, SerialLinks.ScenariosTried);
+    SingleFaultSweep Nodes = sweepSingleNodeFaults(G);
+    EXPECT_EQ(Nodes.AlwaysConnected, SerialNodes.AlwaysConnected);
+    EXPECT_EQ(Nodes.WorstDiameter, SerialNodes.WorstDiameter);
+    EXPECT_EQ(Nodes.ScenariosTried, SerialNodes.ScenariosTried);
+  }
+  setGlobalThreadCount(0);
+}
+
+TEST(Faults, ReachabilityMatchesAllPairsOnHealthyGraph) {
+  Graph G = mesh2D(3, 3);
+  ReachabilityAnalysis Reach = analyzeReachabilityUnderFaults(G, FaultSet());
+  DistanceStats Stats = allPairsStats(G);
+  EXPECT_TRUE(Reach.Connected);
+  EXPECT_EQ(Reach.HealthyNodes, 9u);
+  EXPECT_EQ(Reach.ReachableOrderedPairs, 9u * 8u);
+  EXPECT_EQ(Reach.Diameter, Stats.Diameter);
 }
