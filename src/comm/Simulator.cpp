@@ -52,20 +52,29 @@ NetworkSimulator::NetworkSimulator(const ExplicitScg &Net, CommModel Model)
     DimensionCycle.push_back(G);
 }
 
+std::pair<uint32_t, uint32_t>
+NetworkSimulator::appendRoute(std::span<const GenIndex> Route) {
+  assert(RoutePool.size() + Route.size() <= ~uint32_t(0) &&
+         "route pool exceeds 32-bit indexing");
+  uint32_t Begin = uint32_t(RoutePool.size());
+  RoutePool.insert(RoutePool.end(), Route.begin(), Route.end());
+  return {Begin, uint32_t(Route.size())};
+}
+
 void NetworkSimulator::injectPacket(NodeId Src, std::vector<GenIndex> Route,
                                     unsigned FlitCount) {
   assert(Src < Net.numNodes() && "source out of range");
   assert(FlitCount >= 1 && "a message carries at least one flit");
-  Packets.push_back({Src, 0, FlitCount, std::move(Route)});
+  auto [Begin, Len] = appendRoute(Route);
+  Packets.push_back({Src, 0, FlitCount, Begin, Len});
   uint32_t Id = Packets.size() - 1;
-  const Packet &P = Packets.back();
-  if (P.Route.empty()) {
+  if (Len == 0) {
     // Already at its destination: delivered traffic, even though there is
     // nothing to simulate.
     ++DeliveredAtInject;
     return;
   }
-  Queues[queueIndex(Src, P.Route.front())].push_back(Id);
+  Queues[queueIndex(Src, RoutePool[Begin])].push_back(Id);
   ++Pending;
 }
 
@@ -74,7 +83,27 @@ uint32_t NetworkSimulator::scheduleInjection(uint64_t Step, NodeId Src,
                                              unsigned FlitCount) {
   assert(Src < Net.numNodes() && "source out of range");
   assert(FlitCount >= 1 && "a message carries at least one flit");
-  Packets.push_back({Src, 0, FlitCount, std::move(Route)});
+  auto [Begin, Len] = appendRoute(Route);
+  Packets.push_back({Src, 0, FlitCount, Begin, Len});
+  uint32_t Id = Packets.size() - 1;
+  Injections.push_back({Step, Id});
+  return Id;
+}
+
+uint32_t NetworkSimulator::addSharedRoute(std::span<const GenIndex> Route) {
+  auto [Begin, Len] = appendRoute(Route);
+  SharedRoutes.push_back({Begin, Len});
+  return uint32_t(SharedRoutes.size() - 1);
+}
+
+uint32_t NetworkSimulator::scheduleInjectionShared(uint64_t Step, NodeId Src,
+                                                   uint32_t RouteHandle,
+                                                   unsigned FlitCount) {
+  assert(Src < Net.numNodes() && "source out of range");
+  assert(FlitCount >= 1 && "a message carries at least one flit");
+  assert(RouteHandle < SharedRoutes.size() && "unknown shared route");
+  auto [Begin, Len] = SharedRoutes[RouteHandle];
+  Packets.push_back({Src, 0, FlitCount, Begin, Len});
   uint32_t Id = Packets.size() - 1;
   Injections.push_back({Step, Id});
   return Id;
@@ -93,14 +122,14 @@ void NetworkSimulator::addObserver(SimObserver *Observer) {
 void NetworkSimulator::enqueueOrDeliver(uint32_t Id, SimulationResult &Result,
                                         std::vector<uint32_t> *DeliveredOut) {
   Packet &P = Packets[Id];
-  if (P.NextHop == P.Route.size()) {
+  if (P.NextHop == P.RouteLen) {
     ++Result.Delivered;
     --Pending;
     if (DeliveredOut)
       DeliveredOut->push_back(Id);
     return;
   }
-  Queues[queueIndex(P.At, P.Route[P.NextHop])].push_back(Id);
+  Queues[queueIndex(P.At, routeHop(P, P.NextHop))].push_back(Id);
 }
 
 SimulationResult NetworkSimulator::run(uint64_t MaxSteps) {
@@ -147,8 +176,24 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
       O->onRunBegin(*this);
   }
 
+  // Closed-loop admission state: deferred injections retried FIFO each
+  // step, and a per-node "already blocked this step" stamp -- admissions
+  // only deepen queues within a step, so one failed depth test per node
+  // per step is exact, not an approximation.
+  std::deque<TimedInjection> Deferred;
+  constexpr uint64_t NeverStep = ~uint64_t(0);
+  std::vector<uint64_t> BlockedAt(ClosedLoopMaxQueue ? Net.numNodes() : 0,
+                                  NeverStep);
+  auto NodeQueueDepth = [&](NodeId U) {
+    size_t Depth = 0;
+    for (GenIndex G = 0; G != Net.degree(); ++G)
+      Depth += Queues[queueIndex(U, G)].size();
+    return Depth;
+  };
+
   size_t InjCursor = 0;
-  while ((Pending != 0 || InjCursor != Injections.size()) &&
+  while ((Pending != 0 || InjCursor != Injections.size() ||
+          !Deferred.empty()) &&
          Result.Steps != MaxSteps) {
     uint64_t Step = Result.Steps++;
     Moved.clear();
@@ -160,18 +205,43 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
     // Scheduled injections enter their queues at the start of their step,
     // before the occupancy sample, so they are visible exactly like pre-run
     // injections are at step 0. Zero-hop injections deliver on the spot.
-    while (InjCursor != Injections.size() &&
-           Injections[InjCursor].Step <= Step) {
-      uint32_t Id = Injections[InjCursor++].Id;
-      const Packet &P = Packets[Id];
-      if (P.Route.empty()) {
+    // Under closed loop an injection whose source node is at the queue
+    // depth limit is deferred instead; deferred injections retry first
+    // (they were scheduled earliest), in FIFO order.
+    auto TryAdmit = [&](const TimedInjection &Inj) {
+      const Packet &P = Packets[Inj.Id];
+      if (ClosedLoopMaxQueue && P.RouteLen != 0) {
+        if (BlockedAt[P.At] == Step ||
+            NodeQueueDepth(P.At) >= ClosedLoopMaxQueue) {
+          BlockedAt[P.At] = Step;
+          return false;
+        }
+      }
+      if (Step != Inj.Step) {
+        ++Result.DeferredInjections;
+        Result.DeferredSteps += Step - Inj.Step;
+      }
+      if (P.RouteLen == 0) {
         ++Result.Delivered;
         if constexpr (Collect)
-          Events.Deliveries.push_back(Id);
-        continue;
+          Events.Deliveries.push_back(Inj.Id);
+        return true;
       }
-      Queues[queueIndex(P.At, P.Route.front())].push_back(Id);
+      Queues[queueIndex(P.At, routeHop(P, 0))].push_back(Inj.Id);
       ++Pending;
+      return true;
+    };
+    for (size_t I = 0, E = Deferred.size(); I != E; ++I) {
+      TimedInjection Inj = Deferred.front();
+      Deferred.pop_front();
+      if (!TryAdmit(Inj))
+        Deferred.push_back(Inj);
+    }
+    while (InjCursor != Injections.size() &&
+           Injections[InjCursor].Step <= Step) {
+      const TimedInjection &Inj = Injections[InjCursor++];
+      if (!TryAdmit(Inj))
+        Deferred.push_back(Inj);
     }
 
     // Sample queue occupancy before transmissions so the initial burst is
@@ -204,7 +274,7 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
       // checks DoneStep >= Step), so do not clear Active here; the next
       // selection simply overwrites the record.
       Packet &P = Packets[F.Id];
-      GenIndex Link = P.Route[P.NextHop];
+      GenIndex Link = routeHop(P, P.NextHop);
       P.At = Net.next(P.At, Link);
       ++P.NextHop;
       Moved.push_back(F.Id);
@@ -221,7 +291,7 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
         return false;
       uint32_t Id = Queue.front();
       Packet &P = Packets[Id];
-      assert(P.At == Node && P.Route[P.NextHop] == Link &&
+      assert(P.At == Node && routeHop(P, P.NextHop) == Link &&
              "queue corruption");
       // The link is occupied from this step on (one step for a unit
       // packet, Flits steps for a store-and-forward message).
@@ -290,7 +360,8 @@ SimulationResult NetworkSimulator::runImpl(uint64_t MaxSteps) {
     }
   }
 
-  Result.Completed = (Pending == 0 && InjCursor == Injections.size());
+  Result.Completed =
+      (Pending == 0 && InjCursor == Injections.size() && Deferred.empty());
   uint64_t LinkSteps = uint64_t(Net.numNodes()) * Degree * Result.Steps;
   Result.LinkUtilization =
       LinkSteps ? double(Result.BusyLinkSteps) / double(LinkSteps) : 0.0;
@@ -423,7 +494,10 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
   // occupancy is accounted in bulk at arrival (or at the cap), so
   // BusyLinkSteps never depends on whether occupancy steps were observed.
   std::vector<uint64_t> FlightSelStep(QCount, NoStep);
-  std::vector<uint32_t> NodeQueued(PerNodeEntity ? N : 0, 0);
+  // Per-node queued-packet totals: needed by single-port selection and by
+  // closed-loop admission (queue-depth throttling).
+  const bool TrackNodeQueued = PerNodeEntity || ClosedLoopMaxQueue != 0;
+  std::vector<uint32_t> NodeQueued(TrackNodeQueued ? N : 0, 0);
 
   // Single-dimension schedule: positions of each generator in the cycle,
   // for jumping straight to the next step a queue's link is permitted.
@@ -502,7 +576,7 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
     Shard &S = Shards[ShardOfNode(NodeId(Q / Degree))];
     S.PendingMax = std::max<uint64_t>(S.PendingMax, Len);
     ++S.QueuedCount;
-    if (PerNodeEntity)
+    if (TrackNodeQueued)
       ++NodeQueued[Q / Degree];
     if constexpr (Observed) {
       if (Collect)
@@ -514,7 +588,7 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
     size_t Len = Queues[Q].size();
     Queues[Q].pop_front();
     --S.QueuedCount;
-    if (PerNodeEntity)
+    if (TrackNodeQueued)
       --NodeQueued[Q / Degree];
     if constexpr (Observed) {
       if (Collect)
@@ -531,7 +605,7 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
     Shard &S = Shards[ShardOfNode(NodeId(Q / Degree))];
     S.PendingMax = std::max<uint64_t>(S.PendingMax, Len);
     S.QueuedCount += Len;
-    if (PerNodeEntity)
+    if (TrackNodeQueued)
       NodeQueued[Q / Degree] += Len;
     if constexpr (Observed) {
       if (Collect)
@@ -549,7 +623,8 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
     Packet &P = Packets[Id];
     NodeId Node = NodeId(Q / Degree);
     GenIndex Link = GenIndex(Q % Degree);
-    assert(P.At == Node && P.Route[P.NextHop] == Link && "queue corruption");
+    assert(P.At == Node && routeHop(P, P.NextHop) == Link &&
+           "queue corruption");
     ++S.BusyLinkSteps; // the selection step itself.
     if constexpr (Observed) {
       if (Collect)
@@ -603,7 +678,7 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
       // Arrival: the last flit lands. Occupancy steps after selection are
       // accounted here in one add (the step engine added 1 per step).
       Packet &P = Packets[F.Id];
-      GenIndex Link = P.Route[P.NextHop];
+      GenIndex Link = routeHop(P, P.NextHop);
       P.At = Net.next(P.At, Link);
       ++P.NextHop;
       S.Arr.push_back(F.Id);
@@ -670,11 +745,11 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
       Packet &P = Packets[Id];
       if (ShardOfNode(P.At) != MyIdx)
         return;
-      if (P.NextHop == P.Route.size()) {
+      if (P.NextHop == P.RouteLen) {
         ++Me.DeliveredDelta;
         return;
       }
-      PushQueue(queueIndex(P.At, P.Route[P.NextHop]), Id, T + 1);
+      PushQueue(queueIndex(P.At, routeHop(P, P.NextHop)), Id, T + 1);
     };
     for (const Shard &Src : Shards)
       for (uint32_t Id : Src.Arr)
@@ -691,9 +766,24 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
   uint64_t MainWork = 0;
   bool Capped = false;
 
+  // Closed-loop admission state, mirroring the step engine exactly: the
+  // step engine retries a blocked injection at *every* step, but queue
+  // depths only change at steps where the event engine has scheduled work
+  // -- so retrying at each processed step admits at the identical step.
+  // The one divergence risk is a deferred injection with no other wake
+  // pending (queues drained, or depths frozen until a distant wake):
+  // NextWake therefore offers LastProcessed + 1 as a candidate whenever
+  // Deferred is nonempty, grinding step-by-step like the step engine
+  // would until admission succeeds or the cap lands.
+  std::deque<TimedInjection> Deferred;
+  constexpr uint64_t NeverStep = ~uint64_t(0);
+  std::vector<uint64_t> BlockedAt(ClosedLoopMaxQueue ? N : 0, NeverStep);
+
   auto NextWake = [&]() {
     uint64_t T =
         InjCursor != Injections.size() ? Injections[InjCursor].Step : NoStep;
+    if (!Deferred.empty())
+      T = std::min(T, LastProcessed == NoStep ? 0 : LastProcessed + 1);
     for (const Shard &S : Shards) {
       if (!S.Entity.empty())
         T = std::min(T, S.Entity.top().first);
@@ -703,7 +793,8 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
     return T;
   };
 
-  while (Pending != 0 || InjCursor != Injections.size()) {
+  while (Pending != 0 || InjCursor != Injections.size() ||
+         !Deferred.empty()) {
     uint64_t T = NextWake();
     if (T >= MaxSteps) {
       // Cap reached (or traffic is permanently stalled, e.g. a generator
@@ -729,21 +820,46 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
 
     // Scheduled injections, applied on the main thread in global call
     // order (each push still lands in its owner shard's bookkeeping).
-    while (InjCursor != Injections.size() &&
-           Injections[InjCursor].Step <= T) {
-      uint32_t Id = Injections[InjCursor++].Id;
-      const Packet &P = Packets[Id];
+    // Closed-loop admission is the step engine's verbatim: deferred
+    // injections retry first in FIFO order, then newly scheduled ones; a
+    // per-node per-step blocked stamp keeps retries O(1) (admissions only
+    // deepen queues within a step, so a failed depth test stays failed).
+    auto TryAdmit = [&](const TimedInjection &Inj) {
+      const Packet &P = Packets[Inj.Id];
       ++MainWork;
-      if (P.Route.empty()) {
+      if (ClosedLoopMaxQueue && P.RouteLen != 0) {
+        if (BlockedAt[P.At] == T || NodeQueued[P.At] >= ClosedLoopMaxQueue) {
+          BlockedAt[P.At] = T;
+          return false;
+        }
+      }
+      if (T != Inj.Step) {
+        ++Result.DeferredInjections;
+        Result.DeferredSteps += T - Inj.Step;
+      }
+      if (P.RouteLen == 0) {
         ++Result.Delivered;
         if constexpr (Observed) {
           if (Collect)
-            Events.Deliveries.push_back(Id);
+            Events.Deliveries.push_back(Inj.Id);
         }
-        continue;
+        return true;
       }
-      PushQueue(queueIndex(P.At, P.Route.front()), Id, T);
+      PushQueue(queueIndex(P.At, routeHop(P, 0)), Inj.Id, T);
       ++Pending;
+      return true;
+    };
+    for (size_t I = 0, E = Deferred.size(); I != E; ++I) {
+      TimedInjection Inj = Deferred.front();
+      Deferred.pop_front();
+      if (!TryAdmit(Inj))
+        Deferred.push_back(Inj);
+    }
+    while (InjCursor != Injections.size() &&
+           Injections[InjCursor].Step <= T) {
+      const TimedInjection &Inj = Injections[InjCursor++];
+      if (!TryAdmit(Inj))
+        Deferred.push_back(Inj);
     }
     // Injections are visible to this step's sample in the step engine.
     for (Shard &S : Shards) {
@@ -794,7 +910,7 @@ SimulationResult NetworkSimulator::runEventImpl(uint64_t MaxSteps) {
           Events.Arrivals.insert(Events.Arrivals.end(), S.Sel.begin(),
                                  S.Sel.end());
         for (uint32_t Id : Events.Arrivals)
-          if (Packets[Id].NextHop == Packets[Id].Route.size())
+          if (Packets[Id].NextHop == Packets[Id].RouteLen)
             Events.Deliveries.push_back(Id);
         for (SimObserver *O : Observers)
           O->onStep(*this, Events);

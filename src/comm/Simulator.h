@@ -51,6 +51,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 namespace scg {
@@ -88,6 +89,14 @@ struct SimulationResult {
   /// work), so it is excluded from engine-identity comparisons. The
   /// sparse-traffic speedup of the event core is this ratio.
   uint64_t TouchedWork = 0;
+  /// Closed-loop admission control (setClosedLoop): scheduled injections
+  /// that were admitted later than their scheduled step, and the total
+  /// admission delay in steps summed over them. Both zero under open loop,
+  /// and byte-identical across engines/shards/threads like every other
+  /// result field (injections still deferred when the run ends are counted
+  /// in neither).
+  uint64_t DeferredInjections = 0;
+  uint64_t DeferredSteps = 0;
 };
 
 class SimObserver;
@@ -136,6 +145,37 @@ public:
                              std::vector<GenIndex> Route,
                              unsigned FlitCount = 1);
 
+  /// Registers \p Route once in the simulator's flat route pool and
+  /// returns a handle; any number of injections can then share it via
+  /// scheduleInjectionShared. On a vertex-transitive network a route is a
+  /// function of the relative label only, so the batched traffic setup
+  /// stores one route per distinct label here instead of one owned
+  /// std::vector per packet.
+  uint32_t addSharedRoute(std::span<const GenIndex> Route);
+
+  /// scheduleInjection following the previously registered shared route
+  /// \p RouteHandle (an addSharedRoute return value). Returns the packet
+  /// id; ids are shared with the owned-route overload and stay contiguous
+  /// in call order.
+  uint32_t scheduleInjectionShared(uint64_t Step, NodeId Src,
+                                   uint32_t RouteHandle,
+                                   unsigned FlitCount = 1);
+
+  /// Closed-loop admission control for scheduled injections: when
+  /// \p MaxNodeQueue is nonzero, an injection is admitted at the first
+  /// step >= its scheduled step at which the total queued packets across
+  /// its source node's output queues is below the limit; otherwise it is
+  /// deferred and retried (FIFO among deferred injections, which are
+  /// always retried before that step's newly scheduled ones). Zero-hop
+  /// packets occupy no queue and are never throttled. 0 (the default)
+  /// restores open-loop behavior. Results remain byte-identical across
+  /// engines, shard counts, and thread counts: admission decisions are
+  /// made on the main thread in a deterministic order, and queue depths
+  /// only change at steps both engines process.
+  void setClosedLoop(uint64_t MaxNodeQueue) {
+    ClosedLoopMaxQueue = MaxNodeQueue;
+  }
+
   /// For the single-dimension model: the generator used at step t is
   /// Cycle[t % Cycle.size()]. Defaults to cycling all generators in order.
   void setDimensionCycle(std::vector<GenIndex> Cycle);
@@ -158,11 +198,16 @@ public:
   SimulationResult run(uint64_t MaxSteps);
 
 private:
+  /// Packets hold views into RoutePool (begin + length) instead of owned
+  /// vectors: shared routes are registered once and referenced by every
+  /// packet on the same relative label, and per-packet state is a flat
+  /// 16-byte record with no heap indirection on the hot path.
   struct Packet {
     NodeId At;
     uint32_t NextHop;
     unsigned Flits;
-    std::vector<GenIndex> Route;
+    uint32_t RouteBegin; ///< first hop's index in RoutePool.
+    uint32_t RouteLen;   ///< number of hops.
   };
 
   /// In-flight multi-flit transmission on one link.
@@ -201,10 +246,22 @@ private:
   /// dispatch contract as runImpl.
   template <bool Observed> SimulationResult runEventImpl(uint64_t MaxSteps);
 
+  /// Appends \p Route to RoutePool and returns (begin, length).
+  std::pair<uint32_t, uint32_t> appendRoute(std::span<const GenIndex> Route);
+
+  /// Hop \p Hop of packet \p P.
+  GenIndex routeHop(const Packet &P, uint32_t Hop) const {
+    return RoutePool[size_t(P.RouteBegin) + Hop];
+  }
+
   const ExplicitScg &Net;
   CommModel Model;
   SimEngine Engine = SimEngine::Step;
   unsigned EventShards = 1;
+  uint64_t ClosedLoopMaxQueue = 0; ///< 0 = open loop (no admission control).
+  std::vector<GenIndex> RoutePool; ///< every route, flat; packets index in.
+  /// Shared routes by handle: (begin, length) into RoutePool.
+  std::vector<std::pair<uint32_t, uint32_t>> SharedRoutes;
   std::vector<Packet> Packets;
   std::vector<std::deque<uint32_t>> Queues;
   std::vector<InFlight> Busy; ///< per-link multi-flit transmission state.

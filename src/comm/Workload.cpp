@@ -8,12 +8,14 @@
 
 #include "comm/SimObserver.h"
 #include "emulation/ScgRouter.h"
+#include "query/QueryEngine.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <chrono>
+#include <numeric>
 
 using namespace scg;
 
@@ -132,7 +134,7 @@ std::vector<TrafficEvent> WorkloadGenerator::generate(uint64_t Steps) const {
         if (nextU01(R) >= Spec.InjectionRate)
           continue;
       }
-      NodeId Dst;
+      NodeId Dst = 0;
       switch (Spec.Kind) {
       case WorkloadKind::UniformRandom:
       case WorkloadKind::BurstyUniform:
@@ -198,34 +200,138 @@ TrafficLoadResult scg::simulateTrafficLoad(const ExplicitScg &Net,
   NetworkSimulator Sim(Net, Model);
   Sim.setEngine(Options.Engine);
   Sim.setEventShards(Options.Shards);
+  if (Options.ClosedLoopMaxQueue)
+    Sim.setClosedLoop(Options.ClosedLoopMaxQueue);
 
-  // Routes are the lifted optimal star routes (as in permutation routing);
-  // the (src, dst) cache matters because steady-state traffic revisits
-  // pairs, and route computation dominates trace setup at k = 6.
-  std::unordered_map<uint64_t, std::vector<GenIndex>> RouteCache;
+  // Route setup. Routes are the lifted optimal star routes (as in
+  // permutation routing), and by Cayley symmetry a route depends only on
+  // the relative label Rel = label(src)^-1 o label(dst) -- left
+  // translation is an automorphism -- so the N^2 possible pairs collapse
+  // to at most numNodes distinct labels. Both paths below dedupe on that
+  // label (node ids ARE Lehmer ranks, so a flat slot vector indexes the
+  // dedup); they differ only in how the distinct routes are computed and
+  // stored, never in the trace they schedule.
   const SuperCayleyGraph &Host = Net.network();
   std::vector<uint64_t> InjectStep;
   std::vector<unsigned> Hops;
   InjectStep.reserve(Trace.size());
   Hops.reserve(Trace.size());
+
+  TrafficLoadResult Result;
+  auto SetupBegin = std::chrono::steady_clock::now();
+
+  // Per-node labels and inverses, computed once instead of per event.
+  std::vector<Permutation> Labels;
+  Labels.reserve(Count);
+  for (NodeId U = 0; U != Count; ++U)
+    Labels.push_back(Net.label(U));
+  std::vector<Permutation> InvLabels;
+  InvLabels.reserve(Count);
+  for (NodeId U = 0; U != Count; ++U)
+    InvLabels.push_back(Labels[U].inverse());
+
+  // Dedup pass: map each event to the slot of its relative label. Slot 0
+  // is reserved for the identity label (src == dst, zero-hop).
+  constexpr uint32_t NoSlot = ~uint32_t(0);
+  std::vector<uint32_t> LabelSlot(Count, NoSlot);
+  std::vector<Permutation> Rels;
+  std::vector<uint32_t> EventSlot;
+  EventSlot.reserve(Trace.size());
   for (const TrafficEvent &E : Trace) {
-    uint64_t Key = uint64_t(E.Src) * Count + E.Dst;
-    auto It = RouteCache.find(Key);
-    if (It == RouteCache.end()) {
-      std::vector<GenIndex> Route;
-      if (E.Src != E.Dst)
-        Route = routeViaStarEmulation(Host, Net.label(E.Src),
-                                      Net.label(E.Dst))
-                    .hops();
-      It = RouteCache.emplace(Key, std::move(Route)).first;
+    if (E.Src == E.Dst) {
+      EventSlot.push_back(NoSlot);
+      continue;
     }
-    uint32_t Id =
-        Sim.scheduleInjection(E.Step, E.Src, It->second, Spec.FlitCount);
-    assert(Id == InjectStep.size() && "packet ids not contiguous");
-    (void)Id;
-    InjectStep.push_back(E.Step);
-    Hops.push_back(unsigned(It->second.size()));
+    Permutation Rel = InvLabels[E.Src].compose(Labels[E.Dst]);
+    uint32_t &Slot = LabelSlot[Net.rankOf(Rel)];
+    if (Slot == NoSlot) {
+      Slot = uint32_t(Rels.size());
+      Rels.push_back(std::move(Rel));
+    }
+    EventSlot.push_back(Slot);
   }
+  Result.DistinctLabels = Rels.size();
+
+  if (Options.BatchedSetup) {
+    // Batched: one QueryEngine batch over the global ThreadPool computes
+    // every distinct route into a flat arena (chunk boundaries are a
+    // function of the batch length only, so the arena is byte-identical
+    // at every thread count). The engine's cache is disabled: the driver
+    // already deduped, so caching could only add shard-lock traffic.
+    QueryEngineOptions QOpts;
+    QOpts.CacheCapacity = 0;
+    QueryEngine Engine(Host, QOpts);
+    RouteArena Arena = Engine.routeBatchRelative(Rels);
+#ifndef NDEBUG
+    // The batched routes must equal the legacy scalar ones hop for hop
+    // (both expand starWordForPermutation(Rel) through the Theorem 1-3
+    // dimension templates; this pins that neither side drifts).
+    for (size_t I = 0; I != Rels.size(); ++I) {
+      std::vector<GenIndex> Legacy =
+          routeViaStarEmulation(Host,
+                                Permutation::identity(Host.numSymbols()),
+                                Rels[I])
+              .hops();
+      std::span<const GenIndex> Batched = Arena.route(I);
+      assert(std::equal(Batched.begin(), Batched.end(), Legacy.begin(),
+                        Legacy.end()) &&
+             "batched route differs from legacy scalar route");
+    }
+#endif
+    // Register each distinct route once; every injection shares its
+    // label's pool segment instead of copying the hop vector.
+    std::vector<uint32_t> Handles;
+    Handles.reserve(Rels.size());
+    for (size_t I = 0; I != Rels.size(); ++I)
+      Handles.push_back(Sim.addSharedRoute(Arena.route(I)));
+    const std::vector<GenIndex> ZeroHop;
+    for (size_t I = 0; I != Trace.size(); ++I) {
+      const TrafficEvent &E = Trace[I];
+      uint32_t Slot = EventSlot[I];
+      uint32_t Id = Slot == NoSlot
+                        ? Sim.scheduleInjection(E.Step, E.Src, ZeroHop,
+                                                Spec.FlitCount)
+                        : Sim.scheduleInjectionShared(E.Step, E.Src,
+                                                      Handles[Slot],
+                                                      Spec.FlitCount);
+      assert(Id == InjectStep.size() && "packet ids not contiguous");
+      (void)Id;
+      InjectStep.push_back(E.Step);
+      Hops.push_back(Slot == NoSlot ? 0 : Arena.length(Slot));
+    }
+  } else {
+    // Legacy serial path: one scalar routeViaStarEmulation call per
+    // distinct label (historically keyed by (src, dst) -- the label
+    // re-key dedupes N^2 -> N without changing a single route).
+    std::vector<std::vector<GenIndex>> Routes;
+    Routes.reserve(Rels.size());
+    for (const Permutation &Rel : Rels)
+      Routes.push_back(
+          routeViaStarEmulation(Host,
+                                Permutation::identity(Host.numSymbols()),
+                                Rel)
+              .hops());
+    const std::vector<GenIndex> ZeroHop;
+    for (size_t I = 0; I != Trace.size(); ++I) {
+      const TrafficEvent &E = Trace[I];
+      uint32_t Slot = EventSlot[I];
+      const std::vector<GenIndex> &Route =
+          Slot == NoSlot ? ZeroHop : Routes[Slot];
+      uint32_t Id =
+          Sim.scheduleInjection(E.Step, E.Src, Route, Spec.FlitCount);
+      assert(Id == InjectStep.size() && "packet ids not contiguous");
+      (void)Id;
+      InjectStep.push_back(E.Step);
+      Hops.push_back(unsigned(Route.size()));
+    }
+  }
+  Result.SetupSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    SetupBegin)
+          .count();
+  Result.DedupFactor = Result.DistinctLabels
+                           ? double(Trace.size()) / double(Result.DistinctLabels)
+                           : 0.0;
 
   DeliveryRecorder Recorder(Trace.size());
   OccupancyRecorder Occupancy;
@@ -234,7 +340,6 @@ TrafficLoadResult scg::simulateTrafficLoad(const ExplicitScg &Net,
   for (SimObserver *O : Options.Observers)
     Sim.addObserver(O);
 
-  TrafficLoadResult Result;
   Result.Sim = Sim.run(Steps);
   Result.Offered = Trace.size();
   double NodeSteps = double(Count) * double(Steps ? Steps : 1);
@@ -275,6 +380,38 @@ TrafficLoadResult scg::simulateTrafficLoad(const ExplicitScg &Net,
     Reg->gauge("traffic.mean_queued").set(Result.MeanQueued);
     Reg->gauge("traffic.max_queue_length")
         .set(double(Result.Sim.MaxQueueLength));
+    Reg->counter("traffic.setup.events").add(Result.Offered);
+    Reg->counter("traffic.setup.distinct_labels").add(Result.DistinctLabels);
+    Reg->counter("traffic.setup.route_hops")
+        .add(std::accumulate(Hops.begin(), Hops.end(), uint64_t(0)));
+    Reg->gauge("traffic.setup.dedup_factor").set(Result.DedupFactor);
+    Reg->gauge("traffic.setup.batched").set(Options.BatchedSetup ? 1.0 : 0.0);
+    Reg->gauge("traffic.closedloop.max_queue")
+        .set(double(Options.ClosedLoopMaxQueue));
+    Reg->counter("traffic.closedloop.deferred_injections")
+        .add(Result.Sim.DeferredInjections);
+    Reg->counter("traffic.closedloop.deferred_steps")
+        .add(Result.Sim.DeferredSteps);
   }
   return Result;
+}
+
+std::vector<std::string> scg::trafficMetricNames() {
+  return {"traffic.offered",
+          "traffic.delivered",
+          "traffic.offered_rate",
+          "traffic.delivered_rate",
+          "traffic.mean_latency",
+          "traffic.p50_latency",
+          "traffic.p99_latency",
+          "traffic.mean_queued",
+          "traffic.max_queue_length",
+          "traffic.setup.events",
+          "traffic.setup.distinct_labels",
+          "traffic.setup.route_hops",
+          "traffic.setup.dedup_factor",
+          "traffic.setup.batched",
+          "traffic.closedloop.max_queue",
+          "traffic.closedloop.deferred_injections",
+          "traffic.closedloop.deferred_steps"};
 }

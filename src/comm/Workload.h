@@ -89,12 +89,24 @@ private:
   std::vector<NodeId> FixedDest; ///< per-source map (transpose/bit-reversal).
 };
 
-/// Options of the open-loop driver.
+/// Options of the traffic driver.
 struct TrafficLoadOptions {
   SimEngine Engine = SimEngine::Event; ///< load sweeps want the event core.
   unsigned Shards = 1;                 ///< setEventShards value.
   MetricsRegistry *Registry = nullptr; ///< optional traffic.* metrics sink.
   std::vector<SimObserver *> Observers; ///< extra observers to attach.
+  /// Batched route setup (the default): dedupe all (src, dst) pairs to
+  /// their relative labels (Cayley symmetry: at most numNodes distinct),
+  /// compute one route per label via QueryEngine::routeBatchRelative over
+  /// the global ThreadPool, and let every injection share its label's
+  /// route through the simulator's flat route arena. False selects the
+  /// legacy serial per-pair loop; traces and results are byte-identical
+  /// either way (the batched path only changes setup time and memory).
+  bool BatchedSetup = true;
+  /// Nonzero makes the source closed-loop: an injection whose source node
+  /// already has this many packets queued is deferred until the depth
+  /// drops (see NetworkSimulator::setClosedLoop). Zero is open-loop.
+  uint64_t ClosedLoopMaxQueue = 0;
 };
 
 /// What simulateTrafficLoad measured. Latency of a delivered packet is
@@ -113,6 +125,13 @@ struct TrafficLoadResult {
   uint64_t P50Latency = 0;
   uint64_t P99Latency = 0;
   double MeanQueued = 0.0; ///< mean queued packets over active steps.
+  /// Setup telemetry. DistinctLabels and DedupFactor are deterministic
+  /// (pure functions of the trace); SetupSeconds is wall-clock time of the
+  /// route-setup phase and is the ONLY field excluded from the
+  /// determinism contract.
+  uint64_t DistinctLabels = 0; ///< distinct relative labels routed.
+  double DedupFactor = 0.0;    ///< Offered / DistinctLabels (0 if none).
+  double SetupSeconds = 0.0;   ///< wall-clock route-setup time.
 };
 
 /// Offers \p Spec traffic to \p Net under \p Model for \p Steps steps
@@ -123,6 +142,11 @@ TrafficLoadResult simulateTrafficLoad(const ExplicitScg &Net, CommModel Model,
                                       const WorkloadSpec &Spec,
                                       uint64_t Steps,
                                       const TrafficLoadOptions &Options = {});
+
+/// Every metric name simulateTrafficLoad publishes, in publication order.
+/// Pins the names against silent renames: MetricsTest round-trips each
+/// through a registry and the JSON writer.
+std::vector<std::string> trafficMetricNames();
 
 } // namespace scg
 

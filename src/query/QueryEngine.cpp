@@ -293,6 +293,57 @@ QueryEngine::routeBatch(std::span<const PairQuery> Queries) const {
   return Replies;
 }
 
+RouteReply QueryEngine::routeRelative(const Permutation &Rel) const {
+  assert(Rel.size() == Net.numSymbols() &&
+         "relative label must be on the engine's k symbols");
+  RouteQueries.fetch_add(1, std::memory_order_relaxed);
+  return routeRel(Rel);
+}
+
+RouteArena
+QueryEngine::routeBatchRelative(std::span<const Permutation> Rels) const {
+  const uint64_t N = Rels.size();
+  RouteQueries.fetch_add(N, std::memory_order_relaxed);
+  RouteArena Out;
+  Out.Offsets.push_back(0);
+  if (N == 0)
+    return Out;
+
+  // Per-chunk arenas stitched in chunk-index order: chunk boundaries are a
+  // function of N only (never the thread count), so the arena is
+  // byte-identical at every SCG_THREADS setting, and the batch makes
+  // O(chunks) transient allocations instead of O(N) route vectors.
+  const uint64_t Chunk = ThreadPool::defaultChunkSize(N);
+  const uint64_t NumChunks = (N + Chunk - 1) / Chunk;
+  std::vector<RouteArena> Parts(NumChunks);
+  ThreadPool::global().parallelForChunks(
+      0, N, Chunk, [&](uint64_t B, uint64_t E) {
+        RouteArena &P = Parts[B / Chunk];
+        P.Offsets.reserve(E - B + 1);
+        P.Offsets.push_back(0);
+        for (uint64_t I = B; I != E; ++I) {
+          assert(Rels[I].size() == Net.numSymbols() &&
+                 "relative label must be on the engine's k symbols");
+          RouteReply R = routeRel(Rels[I]);
+          P.Hops.insert(P.Hops.end(), R.Hops.begin(), R.Hops.end());
+          P.Offsets.push_back(uint32_t(P.Hops.size()));
+        }
+      });
+
+  size_t TotalHops = 0;
+  for (const RouteArena &P : Parts)
+    TotalHops += P.Hops.size();
+  Out.Hops.reserve(TotalHops);
+  Out.Offsets.reserve(N + 1);
+  for (const RouteArena &P : Parts) {
+    uint32_t Base = uint32_t(Out.Hops.size());
+    Out.Hops.insert(Out.Hops.end(), P.Hops.begin(), P.Hops.end());
+    for (size_t I = 1; I < P.Offsets.size(); ++I)
+      Out.Offsets.push_back(Base + P.Offsets[I]);
+  }
+  return Out;
+}
+
 void QueryEngine::publishMetrics(MetricsRegistry &M) const {
   M.counter("query.distance.count")
       .set(double(DistanceQueries.load(std::memory_order_relaxed)));

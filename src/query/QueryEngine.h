@@ -47,6 +47,7 @@
 #include "query/TableStore.h"
 
 #include <atomic>
+#include <cassert>
 #include <memory>
 #include <span>
 
@@ -77,6 +78,31 @@ struct RouteReply {
   bool operator==(const RouteReply &) const = default;
 
   unsigned length() const { return unsigned(Hops.size()); }
+};
+
+/// Flat reply to a batched route query: route I occupies
+/// Hops[Offsets[I], Offsets[I+1]). One contiguous buffer for the whole
+/// batch instead of one std::vector per route, so consumers that retain
+/// many routes (the traffic driver keeps one per distinct relative label
+/// and lets every injection index into it) hold a single allocation.
+struct RouteArena {
+  std::vector<GenIndex> Hops;
+  std::vector<uint32_t> Offsets; ///< size() + 1 offsets into Hops.
+
+  size_t size() const { return Offsets.empty() ? 0 : Offsets.size() - 1; }
+
+  /// The hops of route \p I as a view into the arena.
+  std::span<const GenIndex> route(size_t I) const {
+    assert(I + 1 < Offsets.size() && "route index out of range");
+    return std::span<const GenIndex>(Hops).subspan(Offsets[I],
+                                                   Offsets[I + 1] -
+                                                       Offsets[I]);
+  }
+
+  unsigned length(size_t I) const {
+    assert(I + 1 < Offsets.size() && "route index out of range");
+    return Offsets[I + 1] - Offsets[I];
+  }
 };
 
 /// Engine construction knobs.
@@ -116,6 +142,17 @@ public:
   /// A route Src -> Dst as generator indices; exact shortest when the
   /// reply says so, a valid bounded-slowdown route otherwise.
   RouteReply route(const Permutation &Src, const Permutation &Dst) const;
+
+  /// A route for the relative label \p Rel = Src^-1 o Dst directly -- the
+  /// normalization route() performs internally. Vertex-transitive callers
+  /// that already dedupe pairs by relative label (the traffic driver's
+  /// batched setup) enter here and skip the per-pair inverse + compose.
+  RouteReply routeRelative(const Permutation &Rel) const;
+
+  /// Batched routeRelative into one flat arena: chunked over the global
+  /// ThreadPool (chunk boundaries depend only on the batch length), routes
+  /// indexed like \p Rels and byte-identical at every thread count.
+  RouteArena routeBatchRelative(std::span<const Permutation> Rels) const;
 
   /// Batched forms: chunked over the global ThreadPool (SCG_THREADS=1
   /// forces serial), replies indexed like \p Queries and byte-identical

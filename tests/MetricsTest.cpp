@@ -7,11 +7,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "comm/Workload.h"
 #include "support/Format.h"
 #include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 using namespace scg;
@@ -105,6 +107,34 @@ TEST(MetricsRegistryTest, EscapesMetricNamesInJson) {
   EXPECT_NE(Json.find("\"weird \\\"name\\\"\\nwith\\\\stuff\""),
             std::string::npos)
       << Json;
+}
+
+TEST(MetricsRegistryTest, TrafficMetricNamesRoundTripThroughJson) {
+  // Pin the traffic driver's published metric names (traffic.setup.* and
+  // traffic.closedloop.* included) against silent renames: each name must
+  // survive registry -> JSON verbatim, at value zero -- a closed-loop
+  // counter that never fired still has to be visible in the export, and
+  // the dotted names must need no escaping.
+  std::vector<std::string> Names = trafficMetricNames();
+  ASSERT_FALSE(Names.empty());
+  MetricsRegistry M;
+  for (const std::string &Name : Names)
+    M.counter(Name);
+  std::string Json = M.toJson();
+  for (const std::string &Name : Names) {
+    EXPECT_EQ(jsonEscaped(Name), Name) << Name;
+    EXPECT_NE(Json.find("\"" + Name + "\""), std::string::npos) << Name;
+  }
+  // The canonical new names, spelled out so a rename of either subsystem
+  // prefix fails here and not in a dashboard.
+  for (const char *Required :
+       {"traffic.setup.events", "traffic.setup.distinct_labels",
+        "traffic.setup.route_hops", "traffic.setup.dedup_factor",
+        "traffic.setup.batched", "traffic.closedloop.max_queue",
+        "traffic.closedloop.deferred_injections",
+        "traffic.closedloop.deferred_steps"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Required), Names.end())
+        << Required;
 }
 
 TEST(MetricsRegistryTest, CounterPastIntegerPrecisionStaysFinite) {

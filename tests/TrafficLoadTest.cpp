@@ -11,7 +11,10 @@
 //                     and latency rises steeply -- the defining shape of a
 //                     saturation curve
 //
-// Plus MetricsRegistry plumbing for the traffic.* metrics.
+// Plus the closed-loop source (injection throttled by source-node queue
+// depth): at near-zero load it degenerates to the open-loop result
+// exactly, and at overload it bounds queue occupancy by deferring
+// injections. Plus MetricsRegistry plumbing for the traffic.* metrics.
 //
 //===----------------------------------------------------------------------===//
 
@@ -84,6 +87,64 @@ TEST(TrafficLoad, ThroughputPlateausPastSaturation) {
   EXPECT_GT(High.MeanQueued, Low.MeanQueued);
 }
 
+TEST(TrafficLoad, ClosedLoopAtNearZeroLoadIsOpenLoop) {
+  // With queues essentially always empty, the depth test never fires:
+  // the closed-loop driver must reproduce the open-loop result exactly,
+  // field for field, with zero deferrals.
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  TrafficLoadResult Open = simulateTrafficLoad(Net, CommModel::AllPort,
+                                               uniformAt(0.002), 4000);
+  TrafficLoadOptions Closed;
+  Closed.ClosedLoopMaxQueue = 2;
+  TrafficLoadResult R = simulateTrafficLoad(Net, CommModel::AllPort,
+                                            uniformAt(0.002), 4000, Closed);
+  EXPECT_EQ(R.Sim.DeferredInjections, 0u);
+  EXPECT_EQ(R.Sim.DeferredSteps, 0u);
+  EXPECT_EQ(R.Sim.Delivered, Open.Sim.Delivered);
+  EXPECT_EQ(R.Sim.Transmissions, Open.Sim.Transmissions);
+  EXPECT_EQ(R.Sim.Steps, Open.Sim.Steps);
+  EXPECT_EQ(R.Sim.MaxQueueLength, Open.Sim.MaxQueueLength);
+  EXPECT_EQ(R.MeanLatency, Open.MeanLatency);
+  EXPECT_EQ(R.MeanQueued, Open.MeanQueued);
+}
+
+TEST(TrafficLoad, ClosedLoopBoundsQueueOccupancyAtOverload) {
+  // Far past saturation the open-loop source piles queues without bound;
+  // the closed-loop source must defer injections instead, keeping mean
+  // occupancy well below open loop while actually exercising deferral.
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  TrafficLoadResult Open = simulateTrafficLoad(Net, CommModel::SinglePort,
+                                               uniformAt(0.8), 1000);
+  TrafficLoadOptions Closed;
+  Closed.ClosedLoopMaxQueue = 3;
+  TrafficLoadResult R = simulateTrafficLoad(Net, CommModel::SinglePort,
+                                            uniformAt(0.8), 1000, Closed);
+  EXPECT_GT(R.Sim.DeferredInjections, 0u);
+  EXPECT_GT(R.Sim.DeferredSteps, R.Sim.DeferredInjections);
+  EXPECT_LE(R.Sim.MaxQueueLength, Open.Sim.MaxQueueLength);
+  EXPECT_LT(R.MeanQueued, Open.MeanQueued * 0.5);
+  // Deferred traffic is offered but possibly never admitted: delivered
+  // can only drop relative to open loop's everything-enters policy by
+  // the amount still waiting, never grow past offered.
+  EXPECT_LE(R.Sim.Delivered, R.Offered);
+}
+
+TEST(TrafficLoad, DedupStatisticsAreConsistent) {
+  // Cayley symmetry: at most numNodes distinct relative labels however
+  // long the trace runs, and the dedup factor is their ratio.
+  ExplicitScg Net(SuperCayleyGraph::star(4));
+  TrafficLoadResult R = simulateTrafficLoad(Net, CommModel::AllPort,
+                                            uniformAt(0.4), 1500);
+  ASSERT_GT(R.Offered, uint64_t(Net.numNodes()));
+  EXPECT_GT(R.DistinctLabels, 0u);
+  EXPECT_LE(R.DistinctLabels, uint64_t(Net.numNodes()));
+  EXPECT_DOUBLE_EQ(R.DedupFactor,
+                   double(R.Offered) / double(R.DistinctLabels));
+  // A long uniform trace on 24 nodes revisits labels many times over.
+  EXPECT_GT(R.DedupFactor, 5.0);
+  EXPECT_GE(R.SetupSeconds, 0.0);
+}
+
 TEST(TrafficLoad, MetricsRegistryReceivesTrafficSeries) {
   ExplicitScg Net(SuperCayleyGraph::star(4));
   MetricsRegistry Reg;
@@ -100,4 +161,15 @@ TEST(TrafficLoad, MetricsRegistryReceivesTrafficSeries) {
             double(R.P99Latency));
   EXPECT_EQ(Reg.find("traffic.max_queue_length")->value(),
             double(R.Sim.MaxQueueLength));
+  // Setup and closed-loop telemetry flow through the same registry.
+  ASSERT_NE(Reg.find("traffic.setup.distinct_labels"), nullptr);
+  EXPECT_EQ(Reg.find("traffic.setup.distinct_labels")->value(),
+            double(R.DistinctLabels));
+  EXPECT_EQ(Reg.find("traffic.setup.events")->value(), double(R.Offered));
+  EXPECT_EQ(Reg.find("traffic.setup.dedup_factor")->value(), R.DedupFactor);
+  EXPECT_EQ(Reg.find("traffic.setup.batched")->value(), 1.0);
+  // Open-loop run: the closed-loop series exist and sit at zero.
+  ASSERT_NE(Reg.find("traffic.closedloop.deferred_injections"), nullptr);
+  EXPECT_EQ(Reg.find("traffic.closedloop.deferred_injections")->value(), 0.0);
+  EXPECT_EQ(Reg.find("traffic.closedloop.max_queue")->value(), 0.0);
 }
